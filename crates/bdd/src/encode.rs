@@ -1,0 +1,292 @@
+//! Bit-blasting firewalls into BDDs: interval constraints become MSB-first
+//! comparator chains, predicates become conjunctions, and a first-match
+//! policy becomes one characteristic function per decision.
+
+use std::collections::BTreeMap;
+
+use fw_model::{Decision, Firewall, Interval, IntervalSet, Packet, Predicate};
+
+use crate::manager::{BddManager, BddRef, ONE, ZERO};
+
+impl BddManager {
+    /// The BDD of `value_of(field) ≤ bound`, an MSB-first comparator chain
+    /// (linear in the field's width).
+    pub fn field_leq(&mut self, field: usize, bound: u64) -> BddRef {
+        let bits = self.schema().field(fw_model::FieldId(field)).bits();
+        let offset = self.field_offset(field);
+        let mut cur = ONE;
+        for j in 0..bits {
+            // Iterate LSB upward; variable index offset + j' with j' the
+            // MSB-first position.
+            let pos = bits - 1 - j;
+            let var = offset + pos;
+            let bit = (bound >> j) & 1 == 1;
+            cur = if bit {
+                // value bit 0 => anything below; bit 1 => rest must be <=.
+                self.mk_node(var, ONE, cur)
+            } else {
+                self.mk_node(var, cur, ZERO)
+            };
+        }
+        cur
+    }
+
+    /// The BDD of `value_of(field) ≥ bound`.
+    pub fn field_geq(&mut self, field: usize, bound: u64) -> BddRef {
+        let bits = self.schema().field(fw_model::FieldId(field)).bits();
+        let offset = self.field_offset(field);
+        let mut cur = ONE;
+        for j in 0..bits {
+            let pos = bits - 1 - j;
+            let var = offset + pos;
+            let bit = (bound >> j) & 1 == 1;
+            cur = if bit {
+                self.mk_node(var, ZERO, cur)
+            } else {
+                self.mk_node(var, cur, ONE)
+            };
+        }
+        cur
+    }
+
+    /// The BDD of `value_of(field) ∈ [lo, hi]`.
+    pub fn field_interval(&mut self, field: usize, iv: Interval) -> BddRef {
+        let ge = self.field_geq(field, iv.lo());
+        let le = self.field_leq(field, iv.hi());
+        self.and(ge, le)
+    }
+
+    /// The BDD of `value_of(field) ∈ set`.
+    pub fn field_set(&mut self, field: usize, set: &IntervalSet) -> BddRef {
+        let mut acc = ZERO;
+        for &iv in set.iter() {
+            let part = self.field_interval(field, iv);
+            acc = self.or(acc, part);
+        }
+        acc
+    }
+
+    /// The BDD of a whole rule predicate (conjunction over fields).
+    pub fn predicate(&mut self, pred: &Predicate) -> BddRef {
+        let mut acc = ONE;
+        for i in 0..pred.arity() {
+            let set = pred.set(fw_model::FieldId(i));
+            // Full-domain fields contribute nothing.
+            if set.covers(self.schema().field(fw_model::FieldId(i)).domain()) {
+                continue;
+            }
+            let f = self.field_set(i, set);
+            acc = self.and(acc, f);
+        }
+        acc
+    }
+
+    /// Evaluates `f` on a packet by bit-blasting the packet's field values.
+    pub fn eval_packet(&self, f: BddRef, packet: &Packet) -> bool {
+        let mut bits = vec![false; self.var_count() as usize];
+        for (i, (_, field)) in self.schema().clone().iter().enumerate() {
+            let v = packet.value(fw_model::FieldId(i));
+            let offset = self.field_offset(i);
+            for j in 0..field.bits() {
+                bits[(offset + j) as usize] = (v >> (field.bits() - 1 - j)) & 1 == 1;
+            }
+        }
+        self.eval_bits(f, &bits)
+    }
+
+    // mk is private to the manager module; expose a minimal door for the
+    // comparator chains above.
+    pub(crate) fn mk_node(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        // Route through var/and/or to stay canonical: build via ite on a
+        // fresh variable.
+        let v = self.var(var);
+        let nv = self.not(v);
+        let a = self.and(nv, lo);
+        let b = self.and(v, hi);
+        self.or(a, b)
+    }
+}
+
+/// A firewall encoded as one characteristic BDD per decision: `packet ∈
+/// decision[d]` iff the policy maps the packet to `d`. The functions
+/// partition the packet space (every packet satisfies exactly one).
+#[derive(Debug, Clone)]
+pub struct DecisionBdds {
+    by_decision: BTreeMap<Decision, BddRef>,
+}
+
+impl DecisionBdds {
+    /// Encodes `fw` under first-match semantics: walking rules top-down,
+    /// each rule contributes `predicate ∧ unmatched` to its decision's
+    /// function.
+    pub fn from_firewall(m: &mut BddManager, fw: &Firewall) -> DecisionBdds {
+        let mut by_decision: BTreeMap<Decision, BddRef> = BTreeMap::new();
+        let mut unmatched = ONE;
+        for rule in fw.rules() {
+            if unmatched == ZERO {
+                break;
+            }
+            let pred = m.predicate(rule.predicate());
+            let eff = m.and(pred, unmatched);
+            if eff != ZERO {
+                let slot = by_decision.entry(rule.decision()).or_insert(ZERO);
+                *slot = m.or(*slot, eff);
+            }
+            unmatched = m.and_not(unmatched, pred);
+        }
+        DecisionBdds { by_decision }
+    }
+
+    /// The characteristic function of decision `d` (`ZERO` if no packet
+    /// maps to it).
+    pub fn decision(&self, d: Decision) -> BddRef {
+        self.by_decision.get(&d).copied().unwrap_or(ZERO)
+    }
+
+    /// Decisions with a non-empty packet set, ascending.
+    pub fn decisions(&self) -> impl Iterator<Item = (Decision, BddRef)> + '_ {
+        self.by_decision.iter().map(|(&d, &f)| (d, f))
+    }
+
+    /// The decision the encoded policy assigns to `packet`, or `None` for
+    /// packets the policy leaves unmatched.
+    pub fn classify(&self, m: &BddManager, packet: &Packet) -> Option<Decision> {
+        self.by_decision
+            .iter()
+            .find(|(_, &f)| m.eval_packet(f, packet))
+            .map(|(&d, _)| d)
+    }
+}
+
+/// The difference function of two encoded policies: TRUE exactly on packets
+/// the two policies decide differently — the BDD analogue of the paper's
+/// discrepancy output, whose cubes are what §7.5 found unusable.
+pub fn diff(m: &mut BddManager, a: &DecisionBdds, b: &DecisionBdds) -> BddRef {
+    // Packets where a's decision-d region is not b's decision-d region.
+    let mut acc = ZERO;
+    for d in Decision::ALL {
+        let (fa, fb) = (a.decision(d), b.decision(d));
+        if fa == fb {
+            continue;
+        }
+        let x = m.xor(fa, fb);
+        acc = m.or(acc, x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{FieldDef, Firewall, Schema};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn all_packets(schema: &Schema) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for a in 0..=schema.field(fw_model::FieldId(0)).max() {
+            for b in 0..=schema.field(fw_model::FieldId(1)).max() {
+                out.push(Packet::new(vec![a, b]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn comparators_match_arithmetic() {
+        let mut m = BddManager::new(tiny_schema());
+        for bound in 0..8u64 {
+            let le = m.field_leq(0, bound);
+            let ge = m.field_geq(0, bound);
+            for v in 0..8u64 {
+                let p = Packet::new(vec![v, 0]);
+                assert_eq!(m.eval_packet(le, &p), v <= bound, "v={v} <= {bound}");
+                assert_eq!(m.eval_packet(ge, &p), v >= bound, "v={v} >= {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_and_set_encoding() {
+        let mut m = BddManager::new(tiny_schema());
+        let set = IntervalSet::from_intervals(vec![
+            Interval::new(1, 2).unwrap(),
+            Interval::new(5, 6).unwrap(),
+        ]);
+        let f = m.field_set(1, &set);
+        for v in 0..8u64 {
+            let p = Packet::new(vec![0, v]);
+            assert_eq!(m.eval_packet(f, &p), set.contains(v), "at {v}");
+        }
+        // sat_count: 4 values of b × 8 free values of a.
+        assert_eq!(m.sat_count(f), 32);
+    }
+
+    #[test]
+    fn firewall_encoding_matches_first_match() {
+        let fw = Firewall::parse(
+            tiny_schema(),
+            "a=0-3, b=2-5 -> discard\na=2-6 -> accept-log\n* -> accept\n",
+        )
+        .unwrap();
+        let mut m = BddManager::new(tiny_schema());
+        let enc = DecisionBdds::from_firewall(&mut m, &fw);
+        for p in all_packets(fw.schema()) {
+            assert_eq!(enc.classify(&m, &p), fw.decision_for(&p), "at {p}");
+        }
+        // The decision functions partition the space.
+        let total: u128 = Decision::ALL
+            .iter()
+            .map(|&d| m.sat_count(enc.decision(d)))
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn diff_is_empty_iff_equivalent() {
+        let f1 = Firewall::parse(tiny_schema(), "a=0-3 -> accept\n* -> discard\n").unwrap();
+        let f2 = Firewall::parse(
+            tiny_schema(),
+            "a=0-1 -> accept\na=2-3 -> accept\n* -> discard\n",
+        )
+        .unwrap();
+        let f3 = Firewall::parse(tiny_schema(), "a=0-2 -> accept\n* -> discard\n").unwrap();
+        let mut m = BddManager::new(tiny_schema());
+        let e1 = DecisionBdds::from_firewall(&mut m, &f1);
+        let e2 = DecisionBdds::from_firewall(&mut m, &f2);
+        let e3 = DecisionBdds::from_firewall(&mut m, &f3);
+        assert_eq!(diff(&mut m, &e1, &e2), ZERO);
+        let d13 = diff(&mut m, &e1, &e3);
+        assert_ne!(d13, ZERO);
+        // Exactly the packets with a=3 disagree: 8 assignments.
+        assert_eq!(m.sat_count(d13), 8);
+    }
+
+    #[test]
+    fn diff_agrees_with_pointwise_disagreement() {
+        let fa = Firewall::parse(
+            tiny_schema(),
+            "a=0-3, b=2-5 -> discard\na=2-6 -> accept\n* -> discard\n",
+        )
+        .unwrap();
+        let fb = Firewall::parse(
+            tiny_schema(),
+            "b=0-1 -> accept\na=5-7 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let mut m = BddManager::new(tiny_schema());
+        let ea = DecisionBdds::from_firewall(&mut m, &fa);
+        let eb = DecisionBdds::from_firewall(&mut m, &fb);
+        let d = diff(&mut m, &ea, &eb);
+        for p in all_packets(fa.schema()) {
+            let disagree = fa.decision_for(&p) != fb.decision_for(&p);
+            assert_eq!(m.eval_packet(d, &p), disagree, "at {p}");
+        }
+    }
+}

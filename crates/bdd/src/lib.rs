@@ -1,0 +1,44 @@
+//! The **why-not-BDDs baseline** of *Diverse Firewall Design* §7.5.
+//!
+//! The paper justifies FDDs over BDDs with an experiment: a BDD-based
+//! comparator (built on CUDD) produces functional discrepancies that are
+//! not human readable — each BDD node is one *bit* of a packet, not a
+//! field, and extracting rule-like output yields millions of bit-level
+//! cubes even for small firewalls. This crate reproduces that baseline
+//! from scratch so the claim can be measured:
+//!
+//! * [`BddManager`] — a reduced ordered BDD engine (hash-consing, memoised
+//!   apply, sat/cube counting, cube enumeration), after Bryant \[6];
+//! * [`DecisionBdds`] — first-match firewall encoding, one characteristic
+//!   function per decision over the schema's bit-blasted fields;
+//! * [`diff`] — the XOR-based discrepancy function whose
+//!   [`BddManager::cube_count`] is the §7.5 "number of rules".
+//!
+//! The benchmark harness compares those cube counts against the FDD
+//! pipeline's discrepancy counts on the same policy pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use fw_bdd::{diff, BddManager, DecisionBdds, ZERO};
+//! use fw_model::paper;
+//!
+//! let mut m = BddManager::new(paper::team_a().schema().clone());
+//! let a = DecisionBdds::from_firewall(&mut m, &paper::team_a());
+//! let b = DecisionBdds::from_firewall(&mut m, &paper::team_b());
+//! let d = diff(&mut m, &a, &b);
+//! assert_ne!(d, ZERO); // the teams disagree…
+//! // …and the BDD spells the disagreement out in far more pieces than
+//! // the FDD pipeline's three Table-3 rows.
+//! assert!(m.cube_count(d) > 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod encode;
+mod manager;
+
+pub use encode::{diff, DecisionBdds};
+pub use manager::{BddManager, BddRef, ONE, ZERO};

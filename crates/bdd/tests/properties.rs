@@ -1,0 +1,132 @@
+//! Property-based verification of the BDD engine against arithmetic and
+//! model oracles, and cross-validation against the FDD pipeline.
+
+use fw_bdd::{diff, BddManager, DecisionBdds, ONE, ZERO};
+use fw_model::{
+    Decision, FieldDef, Firewall, Interval, IntervalSet, Packet, Predicate, Rule, Schema,
+};
+use proptest::prelude::*;
+
+fn tiny_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 4).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn all_packets() -> Vec<Packet> {
+    let mut out = Vec::new();
+    for a in 0..8u64 {
+        for b in 0..16u64 {
+            out.push(Packet::new(vec![a, b]));
+        }
+    }
+    out
+}
+
+fn arb_set(bits: u32) -> impl Strategy<Value = IntervalSet> {
+    let max = (1u64 << bits) - 1;
+    prop::collection::vec((0..=max, 0..=max), 1..3).prop_map(|pairs| {
+        IntervalSet::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(x, y)| Interval::new(x.min(y), x.max(y)).unwrap()),
+        )
+    })
+}
+
+prop_compose! {
+    fn arb_firewall()(
+        rules in prop::collection::vec((arb_set(3), arb_set(4), 0..4usize), 0..6),
+        last in 0..4usize,
+    ) -> Firewall {
+        let schema = tiny_schema();
+        let mut out: Vec<Rule> = rules
+            .into_iter()
+            .map(|(a, b, d)| {
+                Rule::new(Predicate::new(&schema, vec![a, b]).unwrap(), Decision::ALL[d])
+            })
+            .collect();
+        out.push(Rule::catch_all(&schema, Decision::ALL[last]));
+        Firewall::new(schema, out).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn comparator_chains_match_arithmetic(bound in 0..16u64) {
+        let mut m = BddManager::new(tiny_schema());
+        let le = m.field_leq(1, bound);
+        let ge = m.field_geq(1, bound);
+        for p in all_packets() {
+            let v = p.value(fw_model::FieldId(1));
+            prop_assert_eq!(m.eval_packet(le, &p), v <= bound);
+            prop_assert_eq!(m.eval_packet(ge, &p), v >= bound);
+        }
+    }
+
+    #[test]
+    fn set_encoding_matches_membership(set in arb_set(4)) {
+        let mut m = BddManager::new(tiny_schema());
+        let f = m.field_set(1, &set);
+        for p in all_packets() {
+            prop_assert_eq!(m.eval_packet(f, &p), set.contains(p.value(fw_model::FieldId(1))));
+        }
+        // sat_count = members × free values of the other field.
+        prop_assert_eq!(m.sat_count(f), set.count() * 8);
+    }
+
+    #[test]
+    fn firewall_encoding_equals_first_match(fw in arb_firewall()) {
+        let mut m = BddManager::new(tiny_schema());
+        let enc = DecisionBdds::from_firewall(&mut m, &fw);
+        for p in all_packets() {
+            prop_assert_eq!(enc.classify(&m, &p), fw.decision_for(&p), "at {}", p);
+        }
+        // Decision functions partition the space.
+        let total: u128 = Decision::ALL.iter().map(|&d| m.sat_count(enc.decision(d))).sum();
+        prop_assert_eq!(total, 128);
+        // Pairwise disjoint.
+        for (i, &x) in Decision::ALL.iter().enumerate() {
+            for &y in &Decision::ALL[i + 1..] {
+                let (fx, fy) = (enc.decision(x), enc.decision(y));
+                prop_assert_eq!(m.and(fx, fy), ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_diff_agrees_with_fdd_equivalence(fa in arb_firewall(), fb in arb_firewall()) {
+        let mut m = BddManager::new(tiny_schema());
+        let ea = DecisionBdds::from_firewall(&mut m, &fa);
+        let eb = DecisionBdds::from_firewall(&mut m, &fb);
+        let d = diff(&mut m, &ea, &eb);
+        let fdd_equal = fw_core::equivalent(&fa, &fb).unwrap();
+        prop_assert_eq!(d == ZERO, fdd_equal);
+        // Pointwise: d is true exactly on disagreeing packets, and the
+        // number of disagreeing packets matches the product pipeline.
+        let mut count = 0u128;
+        for p in all_packets() {
+            let disagree = fa.decision_for(&p) != fb.decision_for(&p);
+            prop_assert_eq!(m.eval_packet(d, &p), disagree, "at {}", p);
+            count += u128::from(disagree);
+        }
+        prop_assert_eq!(m.sat_count(d), count);
+        let prod = fw_core::diff_firewalls(&fa, &fb).unwrap();
+        prop_assert_eq!(prod.packet_count(), count);
+    }
+
+    #[test]
+    fn xor_is_its_own_inverse(fw in arb_firewall()) {
+        let mut m = BddManager::new(tiny_schema());
+        let enc = DecisionBdds::from_firewall(&mut m, &fw);
+        let f = enc.decision(Decision::Accept);
+        let nf = m.not(f);
+        prop_assert_eq!(m.xor(f, nf), ONE);
+        let back = m.not(nf);
+        prop_assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * `construction/*` — the paper-literal Fig. 7 constructor versus the
+//!   memoised partitioning constructor, on the same inputs;
+//! * `pipeline/*` — the paper-literal shaping pipeline versus the
+//!   synchronized product, end to end;
+//! * `coalesce` — the cost of Table-3-style region merging;
+//! * `generation` and `redundancy` — the §6 resolution substrates;
+//! * `bdd/*` — the §7.5 baseline's encode + diff cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fw_bench::{measure_pair, measure_pair_literal};
+use fw_core::Fdd;
+use fw_model::paper;
+use fw_synth::{perturb, Synthesizer};
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_construction");
+    group.sample_size(10);
+    let small = Synthesizer::new(7).firewall(30);
+    let medium = Synthesizer::new(8).firewall(100);
+    for (name, fw) in [
+        ("paper-a", paper::team_a()),
+        ("synth-30", small),
+        ("synth-100", medium),
+    ] {
+        group.bench_with_input(BenchmarkId::new("literal_fig7", name), &fw, |b, fw| {
+            b.iter(|| Fdd::from_firewall(fw).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fast_memoised", name), &fw, |b, fw| {
+            b.iter(|| Fdd::from_firewall_fast(fw).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline");
+    group.sample_size(10);
+    let base = Synthesizer::new(9).firewall(40);
+    let derived = perturb(&base, 20, 3);
+    group.bench_function("literal_shaping_40", |b| {
+        b.iter(|| measure_pair_literal(&base, &derived))
+    });
+    group.bench_function("product_40", |b| b.iter(|| measure_pair(&base, &derived)));
+    group.finish();
+}
+
+fn coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coalesce");
+    group.sample_size(20);
+    let a = Synthesizer::new(77).firewall(200);
+    let b = Synthesizer::new(78).firewall(200);
+    let prod = fw_core::diff_firewalls(&a, &b).unwrap();
+    let raw = prod.raw_discrepancies();
+    group.bench_function("coalesce_raw_cells", |bch| {
+        bch.iter(|| fw_core::coalesce(raw.clone()))
+    });
+    group.finish();
+}
+
+fn resolution_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resolution");
+    group.sample_size(10);
+    // 30 rules keeps one iteration sub-second: redundancy analysis walks
+    // effective boxes whose count grows combinatorially with overlap depth.
+    let fw = Synthesizer::new(11).firewall(30);
+    let fdd = Fdd::from_firewall_fast(&fw).unwrap();
+    group.bench_function("generation_from_fdd_30", |b| {
+        b.iter(|| fw_gen::generate_rules(&fdd).unwrap())
+    });
+    let bloated = {
+        let extra = fw_model::Rule::catch_all(fw.schema(), fw_model::Decision::Accept);
+        fw.with_rule_inserted(fw.len() / 2, extra).unwrap()
+    };
+    group.bench_function("redundancy_removal_30", |b| {
+        b.iter(|| fw_gen::remove_redundant_rules(&bloated).unwrap())
+    });
+    group.finish();
+}
+
+fn bdd_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bdd");
+    group.sample_size(10);
+    let a = Synthesizer::new(21).firewall(25);
+    let b = Synthesizer::new(22).firewall(25);
+    group.bench_function("bdd_encode_diff_25", |bch| {
+        bch.iter(|| {
+            let mut m = fw_bdd::BddManager::new(a.schema().clone());
+            let ea = fw_bdd::DecisionBdds::from_firewall(&mut m, &a);
+            let eb = fw_bdd::DecisionBdds::from_firewall(&mut m, &b);
+            let d = fw_bdd::diff(&mut m, &ea, &eb);
+            m.cube_count(d)
+        })
+    });
+    group.bench_function("fdd_compare_25", |bch| bch.iter(|| measure_pair(&a, &b)));
+    group.finish();
+}
+
+fn field_order(c: &mut Criterion) {
+    // §7.2 / classic decision-diagram wisdom: variable order changes
+    // diagram size. Construct the same policy under the natural and the
+    // reversed field order and compare costs.
+    let mut group = c.benchmark_group("ablation_field_order");
+    group.sample_size(10);
+    let fw = Synthesizer::new(31).firewall(80);
+    let reversed = fw
+        .permute_fields(&fw_model::FieldPermutation::reversed(fw.schema().len()))
+        .unwrap();
+    group.bench_function("natural_order_80", |b| {
+        b.iter(|| Fdd::from_firewall_fast(&fw).unwrap())
+    });
+    group.bench_function("reversed_order_80", |b| {
+        b.iter(|| Fdd::from_firewall_fast(&reversed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    construction,
+    pipeline,
+    coalesce,
+    resolution_substrates,
+    bdd_baseline,
+    field_order
+);
+criterion_main!(benches);

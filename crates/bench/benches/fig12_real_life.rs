@@ -1,0 +1,32 @@
+//! Criterion tracking for **Figure 12**: comparison runtime on the
+//! real-life-sized policies versus the fraction of rules changed.
+//!
+//! The `fig12` binary prints the full paper series (x ∈ {5..50}, many runs);
+//! this bench pins three representative points per policy for regression
+//! tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fw_bench::measure_pair;
+use fw_synth::{perturb, university_average, university_large};
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_real_life");
+    group.sample_size(10);
+    for (name, fw) in [
+        ("average-42", university_average()),
+        ("large-661", university_large()),
+    ] {
+        for x in [10u32, 30, 50] {
+            let derived = perturb(&fw, x, u64::from(x));
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("x={x}%")),
+                &(&fw, &derived),
+                |b, (fw, derived)| b.iter(|| measure_pair(fw, derived)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

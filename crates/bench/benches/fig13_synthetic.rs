@@ -1,0 +1,25 @@
+//! Criterion tracking for **Figure 13**: comparison runtime on independent
+//! synthetic policy pairs of growing size.
+//!
+//! The `fig13` binary prints the full series; this bench pins three sizes
+//! for regression tracking, including the paper's 3,000-rule headline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fw_bench::measure_pair;
+use fw_synth::Synthesizer;
+
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_synthetic");
+    group.sample_size(10);
+    for n in [200usize, 1000, 3000] {
+        let a = Synthesizer::new(n as u64).firewall(n);
+        let b = Synthesizer::new(n as u64 + 50).firewall(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| measure_pair(a, b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

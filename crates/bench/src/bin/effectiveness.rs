@@ -1,0 +1,66 @@
+//! **§8.1 effectiveness experiment** — redesigning an 87-rule policy.
+//!
+//! The paper's real experiment cannot be replayed (the university firewall
+//! is confidential and the student is unavailable), so it is simulated
+//! with ground truth: the 87-rule "documented" policy plays the redesign,
+//! and the flawed "original" is derived from it by injecting the error mix
+//! the paper reports — 72 incorrect-ordering errors and 10 missing rules
+//! (82 errors attributable to the original; the paper's remaining 2 were
+//! the redesign's own spec misreadings). The pipeline must surface every
+//! injected error and nothing else, which a 100k-packet trace verifies.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin effectiveness`
+
+use fw_core::ChangeImpact;
+use fw_synth::{documented_firewall, inject_errors, InjectedError, PacketTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let redesign = documented_firewall();
+    let outcome = inject_errors(&redesign, 72, 10, 1984);
+    let ordering = outcome
+        .errors
+        .iter()
+        .filter(|e| matches!(e, InjectedError::OrderingShadow { .. }))
+        .count();
+    println!(
+        "original: {} rules ({} ordering errors + {} missing rules injected)",
+        outcome.flawed.len(),
+        ordering,
+        outcome.errors.len() - ordering
+    );
+    println!("redesign: {} rules", redesign.len());
+
+    let impact = ChangeImpact::between(&outcome.flawed, &redesign)?;
+    println!(
+        "functional discrepancies found: {} regions covering {} packets",
+        impact.discrepancies().len(),
+        impact.affected_packets()
+    );
+    // Paper: 84 discrepancies for its 87-rule policy with this error mix —
+    // the exact count depends on how much the injected shadows overlap,
+    // but the order of magnitude (tens of regions) should match.
+
+    // Ground-truth check on a large random trace: the reported regions are
+    // exactly the disagreement set.
+    let trace = PacketTrace::random(redesign.schema().clone(), 100_000, 2024);
+    let mut mismatches = 0usize;
+    let mut differing = 0usize;
+    for p in trace.packets() {
+        let differs = outcome.flawed.decision_for(p) != redesign.decision_for(p);
+        differing += usize::from(differs);
+        if impact.affects(p) != differs {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "trace check: {differing}/{} sampled packets differ; {mismatches} soundness/completeness \
+         mismatches (must be 0)",
+        trace.len()
+    );
+    assert_eq!(
+        mismatches, 0,
+        "comparison pipeline missed or invented differences"
+    );
+    println!("effectiveness experiment passed: all injected errors surfaced");
+    Ok(())
+}

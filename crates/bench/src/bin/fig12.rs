@@ -1,0 +1,49 @@
+//! **Figure 12** — runtime on real-life firewalls versus the percentage of
+//! rules changed.
+//!
+//! Protocol (paper §8.2.1): for each policy (661-rule large, 42-rule
+//! average) and each `x ∈ {5, 10, …, 50}`: randomly select `x%` of the
+//! rules, pick `y ~ U(0,100)`, flip the decisions of `y%` of the selection
+//! and delete the rest, then compare the original against the derivative,
+//! timing construction / shaping / comparison. The paper averages 100 runs
+//! per point; pass a different run count as the first CLI argument.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin fig12 [runs]`
+
+use fw_bench::{measure_pair, ms, PhaseTimes};
+use fw_synth::{perturb, university_average, university_large};
+
+fn main() {
+    let runs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    println!("# Figure 12: runtime vs percentage of changed rules ({runs} runs/point)");
+    for (name, fw) in [
+        ("large-661", university_large()),
+        ("average-42", university_average()),
+    ] {
+        println!("## firewall {name} ({} rules)", fw.len());
+        println!("x%  construction_ms  shaping_ms  comparison_ms  total_ms  avg_cells");
+        for x in (5..=50).step_by(5) {
+            let mut acc = PhaseTimes::default();
+            let mut cells_total: u128 = 0;
+            for run in 0..runs {
+                let seed = u64::from(run) * 1000 + x as u64;
+                let derived = perturb(&fw, x, seed);
+                let (t, cells) = measure_pair(&fw, &derived);
+                acc.add(t);
+                cells_total += cells;
+            }
+            let avg = acc.div(runs);
+            println!(
+                "{x:<3} {:>15} {:>11} {:>14} {:>9} {:>10}",
+                ms(avg.construction),
+                ms(avg.shaping),
+                ms(avg.comparison),
+                ms(avg.total()),
+                cells_total / u128::from(runs)
+            );
+        }
+    }
+}

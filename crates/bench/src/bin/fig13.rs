@@ -1,0 +1,41 @@
+//! **Figure 13** — runtime on synthetic firewalls of large sizes.
+//!
+//! Protocol (paper §8.2.2): generate two firewalls *independently* at each
+//! size, run the three-phase pipeline, and report average execution time
+//! per phase versus the number of rules. The paper's headline: detecting
+//! all discrepancies between two 3,000-rule policies takes a few seconds.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin fig13 [runs]`
+
+use fw_bench::{measure_pair, ms, PhaseTimes};
+use fw_synth::Synthesizer;
+
+fn main() {
+    let runs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("# Figure 13: runtime vs number of rules, independent pairs ({runs} runs/point)");
+    println!("n     construction_ms  shaping_ms  comparison_ms  total_ms  avg_cells");
+    for n in [200usize, 600, 1000, 1400, 1800, 2200, 2600, 3000] {
+        let mut acc = PhaseTimes::default();
+        let mut cells_total: u128 = 0;
+        for run in 0..runs {
+            let base = (n as u64) * 100 + u64::from(run);
+            let a = Synthesizer::new(base).firewall(n);
+            let b = Synthesizer::new(base + 50).firewall(n);
+            let (t, cells) = measure_pair(&a, &b);
+            acc.add(t);
+            cells_total += cells;
+        }
+        let avg = acc.div(runs);
+        println!(
+            "{n:<5} {:>15} {:>11} {:>14} {:>9} {:>10}",
+            ms(avg.construction),
+            ms(avg.shaping),
+            ms(avg.comparison),
+            ms(avg.total()),
+            cells_total / u128::from(runs)
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quick pipeline smoke test: one-shot phase timings and sizes for the
+//! real-life-sized policies and a sweep of independent pairs up to the
+//! paper's 3,000-rule headline — a fast sanity check before running the
+//! full `fig12`/`fig13` series.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin smoke`
+
+use std::time::Instant;
+
+fn bench_pair(name: &str, a: &fw_model::Firewall, b: &fw_model::Firewall) {
+    let t = Instant::now();
+    let fa = fw_core::Fdd::from_firewall_fast(a).unwrap();
+    let fb = fw_core::Fdd::from_firewall_fast(b).unwrap();
+    let t_con = t.elapsed();
+    let t = Instant::now();
+    let prod = fw_core::diff_product(&fa, &fb).unwrap();
+    let t_prod = t.elapsed();
+    let t = Instant::now();
+    let cells = prod.cell_count();
+    let t_count = t.elapsed();
+    println!(
+        "{name}: construct {:?} (nodes {}/{}), product {:?} ({} nodes), count {:?}, {} diff cells",
+        t_con,
+        fa.node_count(),
+        fb.node_count(),
+        t_prod,
+        prod.node_count(),
+        t_count,
+        cells
+    );
+}
+
+fn main() {
+    let avg = fw_synth::university_average();
+    bench_pair(
+        "avg(42) vs perturbed",
+        &avg,
+        &fw_synth::perturb(&avg, 20, 1),
+    );
+
+    let large = fw_synth::university_large();
+    bench_pair(
+        "large(661) vs perturbed",
+        &large,
+        &fw_synth::perturb(&large, 10, 1),
+    );
+
+    let mut s1 = fw_synth::Synthesizer::new(100);
+    let mut s2 = fw_synth::Synthesizer::new(200);
+    for n in [500usize, 1000, 2000, 3000] {
+        let a = s1.firewall(n);
+        let b = s2.firewall(n);
+        bench_pair(&format!("independent n={n}"), &a, &b);
+    }
+}

@@ -1,0 +1,331 @@
+//! Functional discrepancies between firewall versions, in the human-readable
+//! rule-like format the paper requires (Table 3).
+//!
+//! A [`Discrepancy`] is a packet region (a predicate) on which two versions
+//! decide differently; a [`MultiDiscrepancy`] generalises to `N > 2`
+//! versions (§7.3). Both render through §7.1's output conversion: 32-bit
+//! fields are printed as IP prefixes whenever the interval is
+//! prefix-aligned, so administrators read familiar notation.
+
+use std::fmt;
+
+use fw_model::{Decision, IntervalSet, Packet, Predicate, Schema};
+use serde::{Deserialize, Serialize};
+
+/// One functional discrepancy between two firewall versions: all packets in
+/// `predicate` map to `left` under the first version and to `right` under
+/// the second.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Discrepancy {
+    predicate: Predicate,
+    left: Decision,
+    right: Decision,
+}
+
+impl Discrepancy {
+    /// Creates a discrepancy record.
+    pub fn new(predicate: Predicate, left: Decision, right: Decision) -> Self {
+        Discrepancy {
+            predicate,
+            left,
+            right,
+        }
+    }
+
+    /// The packet region the two versions disagree on.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// The first version's decision.
+    pub fn left(&self) -> Decision {
+        self.left
+    }
+
+    /// The second version's decision.
+    pub fn right(&self) -> Decision {
+        self.right
+    }
+
+    /// A witness packet inside the disputed region.
+    pub fn witness(&self) -> Packet {
+        self.predicate.witness()
+    }
+
+    /// Number of packets in the disputed region, saturating.
+    pub fn packet_count(&self) -> u128 {
+        self.predicate.count()
+    }
+
+    /// Paper-style rendering with field names from `schema`; see
+    /// [`display_predicate_prefixed`] for the prefix conversion.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayDiscrepancy<'a> {
+        DisplayDiscrepancy { d: self, schema }
+    }
+
+    /// Attributes the discrepancy to concrete rules: the first-match rule
+    /// index in each version for a witness packet of the region.
+    ///
+    /// A coalesced region may span several first-match rules per side;
+    /// this reports the pair for one representative packet — enough to
+    /// point an administrator at *a* responsible rule in each version.
+    pub fn attribute(
+        &self,
+        left_fw: &fw_model::Firewall,
+        right_fw: &fw_model::Firewall,
+    ) -> (Option<usize>, Option<usize>) {
+        let w = self.witness();
+        (left_fw.first_match(&w), right_fw.first_match(&w))
+    }
+}
+
+/// One functional discrepancy among `N` versions: all packets in
+/// `predicate` map to `decisions[i]` under version `i`, and not all
+/// decisions agree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiDiscrepancy {
+    predicate: Predicate,
+    decisions: Vec<Decision>,
+}
+
+impl MultiDiscrepancy {
+    /// Creates an `N`-way discrepancy record.
+    pub fn new(predicate: Predicate, decisions: Vec<Decision>) -> Self {
+        MultiDiscrepancy {
+            predicate,
+            decisions,
+        }
+    }
+
+    /// The packet region on which not all versions agree.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Decision per version, in version order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// A witness packet inside the disputed region.
+    pub fn witness(&self) -> Packet {
+        self.predicate.witness()
+    }
+
+    /// Paper-style rendering with field names from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayMultiDiscrepancy<'a> {
+        DisplayMultiDiscrepancy { d: self, schema }
+    }
+}
+
+/// Merges discrepancy regions that differ in exactly one field and carry the
+/// same decision pair, until no more merges apply.
+///
+/// The comparison algorithm emits one discrepancy per decision *path* of the
+/// shaped diagrams; shaping splits regions finely (every edge is one
+/// interval), so one logical disagreement often spans many paths. Coalescing
+/// restores the concise, Table-3-style presentation: two hyper-rectangles
+/// whose predicates agree on all fields but one union into a single
+/// predicate with that field's sets merged — an exact, loss-free rewrite.
+pub fn coalesce(ds: Vec<Discrepancy>) -> Vec<Discrepancy> {
+    coalesce_by(
+        ds,
+        |d| (d.left, d.right),
+        |d| &mut d.predicate,
+        |d| &d.predicate,
+    )
+}
+
+/// Merges `N`-way discrepancy regions exactly like [`coalesce`].
+pub fn coalesce_multi(ds: Vec<MultiDiscrepancy>) -> Vec<MultiDiscrepancy> {
+    coalesce_by(
+        ds,
+        |d| d.decisions.clone(),
+        |d| &mut d.predicate,
+        |d| &d.predicate,
+    )
+}
+
+/// Shared coalescing engine: repeated passes, one per field; within a pass,
+/// items are hash-grouped by (decision key, every *other* field's set) and
+/// each group collapses into one item whose chosen field is the union of
+/// the group's sets. Items are disjoint boxes, so the collapse is an exact
+/// rewrite. Passes repeat until a full round merges nothing.
+fn coalesce_by<T, Key, K, FM, FR>(mut ds: Vec<T>, key: K, pred_mut: FM, pred_ref: FR) -> Vec<T>
+where
+    Key: std::hash::Hash + Eq,
+    K: Fn(&T) -> Key + Copy,
+    FM: Fn(&mut T) -> &mut Predicate + Copy,
+    FR: Fn(&T) -> &Predicate + Copy,
+{
+    use std::collections::HashMap;
+    if ds.len() < 2 {
+        return ds;
+    }
+    let arity = pred_ref(&ds[0]).arity();
+    loop {
+        let mut merged_any = false;
+        for field in 0..arity {
+            let id = fw_model::FieldId(field);
+            let mut groups: HashMap<(Key, Vec<IntervalSet>), Vec<T>> = HashMap::new();
+            for d in ds.drain(..) {
+                let others: Vec<IntervalSet> = (0..arity)
+                    .filter(|&i| i != field)
+                    .map(|i| pred_ref(&d).set(fw_model::FieldId(i)).clone())
+                    .collect();
+                groups.entry((key(&d), others)).or_default().push(d);
+            }
+            ds = groups
+                .into_values()
+                .map(|mut group| {
+                    if group.len() > 1 {
+                        merged_any = true;
+                        let union = group
+                            .iter()
+                            .map(|d| pred_ref(d).set(id).clone())
+                            .reduce(|a, b| a.union(&b))
+                            .expect("group is non-empty");
+                        let mut first = group.swap_remove(0);
+                        *pred_mut(&mut first) = pred_ref(&first)
+                            .with_field(id, union)
+                            .expect("union of non-empty sets is non-empty");
+                        first
+                    } else {
+                        group.pop().expect("group is non-empty")
+                    }
+                })
+                .collect();
+        }
+        if !merged_any {
+            // Hash grouping shuffles order; emit rows deterministically.
+            ds.sort_by(|a, b| pred_ref(a).sets().cmp(pred_ref(b).sets()));
+            return ds;
+        }
+    }
+}
+
+/// Formats `pred` over `schema` with §7.1's output conversion:
+/// unconstrained fields elided; 32-bit fields rendered as IP prefixes (or
+/// dotted ranges when a run does not align to one prefix); other fields as
+/// integers or integer intervals. Delegates to
+/// [`fw_model::Predicate::display`], which implements the conversion.
+pub fn display_predicate_prefixed(pred: &Predicate, schema: &Schema) -> String {
+    pred.display(schema).to_string()
+}
+
+/// Helper returned by [`Discrepancy::display`].
+#[derive(Debug)]
+pub struct DisplayDiscrepancy<'a> {
+    d: &'a Discrepancy,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayDiscrepancy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | first: {}, second: {}",
+            display_predicate_prefixed(self.d.predicate(), self.schema),
+            self.d.left,
+            self.d.right
+        )
+    }
+}
+
+/// Helper returned by [`MultiDiscrepancy::display`].
+#[derive(Debug)]
+pub struct DisplayMultiDiscrepancy<'a> {
+    d: &'a MultiDiscrepancy,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayMultiDiscrepancy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} |",
+            display_predicate_prefixed(self.d.predicate(), self.schema)
+        )?;
+        for (i, d) in self.d.decisions.iter().enumerate() {
+            write!(
+                f,
+                " v{}: {}{}",
+                i + 1,
+                d,
+                if i + 1 < self.d.decisions.len() {
+                    ","
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{FieldId, Interval, IntervalSet};
+
+    fn schema() -> Schema {
+        Schema::paper_example()
+    }
+
+    #[test]
+    fn display_uses_prefix_notation_for_aligned_ips() {
+        let s = schema();
+        let pred = Predicate::any(&s)
+            .with_field(
+                FieldId(1),
+                IntervalSet::from_interval(Interval::new(0xE0A8_0000, 0xE0A8_FFFF).unwrap()),
+            )
+            .unwrap()
+            .with_field(FieldId(3), IntervalSet::from_value(25))
+            .unwrap();
+        let d = Discrepancy::new(pred, Decision::Accept, Decision::Discard);
+        let text = d.display(&s).to_string();
+        assert!(text.contains("src=224.168.0.0/16"), "got: {text}");
+        assert!(text.contains("dport=25"));
+        assert!(text.contains("first: accept, second: discard"));
+    }
+
+    #[test]
+    fn display_falls_back_to_ranges_for_ragged_intervals() {
+        let s = schema();
+        // [1, 2^32-2] needs 62 prefixes — the range form is used instead.
+        let pred = Predicate::any(&s)
+            .with_field(
+                FieldId(2),
+                IntervalSet::from_interval(Interval::new(1, u64::from(u32::MAX) - 1).unwrap()),
+            )
+            .unwrap();
+        let d = Discrepancy::new(pred, Decision::Accept, Decision::Discard);
+        let text = d.display(&s).to_string();
+        assert!(text.contains("dst=0.0.0.1-255.255.255.254"), "got: {text}");
+    }
+
+    #[test]
+    fn multi_discrepancy_display_lists_versions() {
+        let s = schema();
+        let m = MultiDiscrepancy::new(
+            Predicate::any(&s),
+            vec![Decision::Accept, Decision::Discard, Decision::Accept],
+        );
+        let text = m.display(&s).to_string();
+        assert!(text.contains("v1: accept"));
+        assert!(text.contains("v2: discard"));
+        assert!(text.contains("v3: accept"));
+    }
+
+    #[test]
+    fn witness_is_inside_region() {
+        let s = schema();
+        let pred = Predicate::any(&s)
+            .with_field(FieldId(0), IntervalSet::from_value(1))
+            .unwrap();
+        let d = Discrepancy::new(pred.clone(), Decision::Accept, Decision::Discard);
+        assert!(pred.matches(&d.witness()));
+        assert_eq!(d.packet_count(), pred.count());
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz DOT export, for rendering diagrams like the paper's
+//! Figures 2–5.
+//!
+//! Terminals render as boxes labelled with the decision's initial (`a`,
+//! `d`, …) matching the paper's figures; internal nodes as circles with the
+//! field name; edges with their interval-set labels, IP fields in the §7.1
+//! prefix notation.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use fw_model::Decision;
+
+use crate::fdd::{Fdd, Node, NodeId};
+
+fn decision_letter(d: Decision) -> &'static str {
+    match d {
+        Decision::Accept => "a",
+        Decision::Discard => "d",
+        Decision::AcceptLog => "a+log",
+        Decision::DiscardLog => "d+log",
+    }
+}
+
+impl Fdd {
+    /// Renders the reachable diagram as Graphviz DOT.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fw_core::CoreError> {
+    /// use fw_core::Fdd;
+    /// use fw_model::paper;
+    ///
+    /// let dot = Fdd::from_firewall(&paper::team_a())?.reduced().to_dot();
+    /// assert!(dot.starts_with("digraph fdd {"));
+    /// assert!(dot.contains("iface"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph fdd {\n  rankdir=TB;\n");
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut stack = vec![self.root()];
+        let schema = self.schema();
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            match self.node(id) {
+                Node::Terminal(d) => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} [shape=box, label=\"{}\"];",
+                        id.index(),
+                        decision_letter(*d)
+                    );
+                }
+                Node::Internal { field, edges } => {
+                    let fd = schema.field(*field);
+                    let _ = writeln!(
+                        out,
+                        "  n{} [shape=circle, label=\"{}\"];",
+                        id.index(),
+                        fd.name()
+                    );
+                    for e in edges {
+                        let label = if fd.bits() == 32 {
+                            // Reuse the §7.1 IP rendering via a one-field
+                            // predicate display.
+                            let pred = fw_model::Predicate::any(schema)
+                                .with_field(*field, e.label().clone())
+                                .expect("edge labels are non-empty");
+                            let text = pred.display(schema).to_string();
+                            text.split_once('=')
+                                .map(|(_, v)| v.to_owned())
+                                .unwrap_or(text)
+                        } else {
+                            e.label().to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "  n{} -> n{} [label=\"{}\"];",
+                            id.index(),
+                            e.target().index(),
+                            label.replace('"', "'")
+                        );
+                        stack.push(e.target());
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    #[test]
+    fn dot_contains_every_reachable_node() {
+        let fdd = Fdd::from_firewall(&paper::team_a()).unwrap().reduced();
+        let dot = fdd.to_dot();
+        assert_eq!(
+            dot.matches("shape=circle").count() + dot.matches("shape=box").count(),
+            fdd.node_count()
+        );
+        assert!(dot.contains("224.168.0.0/16"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn terminal_letters_match_the_paper() {
+        let acc = Fdd::constant(fw_model::Schema::paper_example(), Decision::Accept);
+        assert!(acc.to_dot().contains("label=\"a\""));
+        let dis = Fdd::constant(fw_model::Schema::paper_example(), Decision::Discard);
+        assert!(dis.to_dot().contains("label=\"d\""));
+    }
+}

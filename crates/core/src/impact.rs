@@ -1,0 +1,313 @@
+//! Firewall **change impact analysis** (paper §1.3): the impact of a set of
+//! policy edits *is* the functional discrepancy set between the firewall
+//! before and after the changes — so the §3–§5 pipeline applies directly.
+//!
+//! [`Edit`] models the edits administrators actually make (§8.1 found most
+//! real errors come from inserting rules at the top of a policy);
+//! [`ChangeImpact::of_edits`] applies a batch and reports its exact impact.
+
+use fw_model::{Firewall, Packet, Rule};
+use serde::{Deserialize, Serialize};
+
+use crate::discrepancy::Discrepancy;
+use crate::CoreError;
+
+/// A single firewall policy edit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Edit {
+    /// Insert `rule` at position `index` (0 = highest priority).
+    Insert {
+        /// Position to insert at.
+        index: usize,
+        /// The new rule.
+        rule: Rule,
+    },
+    /// Remove the rule at `index`.
+    Remove {
+        /// Position to remove.
+        index: usize,
+    },
+    /// Replace the rule at `index` with `rule`.
+    Replace {
+        /// Position to replace.
+        index: usize,
+        /// The replacement rule.
+        rule: Rule,
+    },
+    /// Swap the rules at `first` and `second` — the classic
+    /// order-sensitivity mistake.
+    Swap {
+        /// One position.
+        first: usize,
+        /// The other position.
+        second: usize,
+    },
+}
+
+impl Edit {
+    /// Applies the edit, returning the modified firewall.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`fw_model::ModelError`] (wrapped in
+    /// [`CoreError::Model`]) for out-of-range indices or invalid rules.
+    pub fn apply(&self, fw: &Firewall) -> Result<Firewall, CoreError> {
+        match self {
+            Edit::Insert { index, rule } => Ok(fw.with_rule_inserted(*index, rule.clone())?),
+            Edit::Remove { index } => Ok(fw.with_rule_removed(*index)?),
+            Edit::Replace { index, rule } => Ok(fw.with_rule_replaced(*index, rule.clone())?),
+            Edit::Swap { first, second } => {
+                let (i, j) = (*first, *second);
+                if i >= fw.len() || j >= fw.len() {
+                    return Err(CoreError::Model(fw_model::ModelError::InvalidFirewall {
+                        message: format!("swap indices {i},{j} out of range 0..{}", fw.len()),
+                    }));
+                }
+                let mut rules = fw.rules().to_vec();
+                rules.swap(i, j);
+                Ok(Firewall::new(fw.schema().clone(), rules)?)
+            }
+        }
+    }
+}
+
+/// The computed impact of a policy change: every packet region whose
+/// decision changed, with the before/after decisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeImpact {
+    discrepancies: Vec<Discrepancy>,
+}
+
+impl ChangeImpact {
+    /// Compares the policy `before` and `after` a change (§1.3: "the impact
+    /// of the changes can literally be defined as the functional
+    /// discrepancies between the firewall before changes and the firewall
+    /// after changes").
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::compare_firewalls`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fw_core::CoreError> {
+    /// use fw_core::ChangeImpact;
+    /// use fw_model::{paper, Decision, Rule};
+    ///
+    /// let before = paper::team_b();
+    /// // Administrator inserts a blanket discard at the top…
+    /// let after = before.with_rule_inserted(
+    ///     0,
+    ///     Rule::catch_all(before.schema(), Decision::Discard),
+    /// ).map_err(fw_core::CoreError::from)?;
+    /// let impact = ChangeImpact::between(&before, &after)?;
+    /// // …and the analysis shows exactly which traffic flips to discard.
+    /// assert!(!impact.is_noop());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn between(before: &Firewall, after: &Firewall) -> Result<ChangeImpact, CoreError> {
+        Ok(ChangeImpact {
+            discrepancies: crate::compare_firewalls(before, after)?,
+        })
+    }
+
+    /// Applies `edits` in order to `before` and returns the modified policy
+    /// together with the exact impact of the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates edit-application errors and comparison errors.
+    pub fn of_edits(
+        before: &Firewall,
+        edits: &[Edit],
+    ) -> Result<(Firewall, ChangeImpact), CoreError> {
+        let mut after = before.clone();
+        for e in edits {
+            after = e.apply(&after)?;
+        }
+        let impact = ChangeImpact::between(before, &after)?;
+        Ok((after, impact))
+    }
+
+    /// The changed regions: `(region, old decision, new decision)` triples.
+    pub fn discrepancies(&self) -> &[Discrepancy] {
+        &self.discrepancies
+    }
+
+    /// Whether the change is semantics-preserving (no packet's decision
+    /// changed) — e.g. removing a redundant rule.
+    pub fn is_noop(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+
+    /// Whether the given packet's decision changed.
+    pub fn affects(&self, packet: &Packet) -> bool {
+        self.discrepancies
+            .iter()
+            .any(|d| d.predicate().matches(packet))
+    }
+
+    /// Total number of packets whose decision changed, saturating.
+    pub fn affected_packets(&self) -> u128 {
+        self.discrepancies
+            .iter()
+            .fold(0u128, |acc, d| acc.saturating_add(d.packet_count()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, Decision, FieldDef, FieldId, IntervalSet, Predicate, Schema};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn redundant_insert_is_noop() {
+        let fw = paper::team_a();
+        // The catch-all dominates this rule already.
+        let redundant = Rule::new(
+            Predicate::any(fw.schema())
+                .with_field(FieldId(0), IntervalSet::from_value(1))
+                .unwrap(),
+            Decision::Accept,
+        );
+        let (after, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Insert {
+                index: 2,
+                rule: redundant,
+            }],
+        )
+        .unwrap();
+        assert_eq!(after.len(), 4);
+        assert!(impact.is_noop());
+        assert_eq!(impact.affected_packets(), 0);
+    }
+
+    #[test]
+    fn top_insert_impact_is_reported_exactly() {
+        let fw =
+            fw_model::Firewall::parse(tiny_schema(), "a=0-3 -> accept\n* -> discard\n").unwrap();
+        let blocker = Rule::new(
+            Predicate::any(fw.schema())
+                .with_field(FieldId(0), IntervalSet::from_value(2))
+                .unwrap(),
+            Decision::Discard,
+        );
+        let (_, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Insert {
+                index: 0,
+                rule: blocker,
+            }],
+        )
+        .unwrap();
+        // Exactly the packets with a=2 flip from accept to discard.
+        assert_eq!(impact.discrepancies().len(), 1);
+        let d = &impact.discrepancies()[0];
+        assert_eq!(d.left(), Decision::Accept);
+        assert_eq!(d.right(), Decision::Discard);
+        assert_eq!(d.packet_count(), 8); // a=2, b free (8 values)
+        assert!(impact.affects(&Packet::new(vec![2, 5])));
+        assert!(!impact.affects(&Packet::new(vec![3, 5])));
+    }
+
+    #[test]
+    fn swap_of_conflicting_rules_has_impact() {
+        let fw = fw_model::Firewall::parse(
+            tiny_schema(),
+            "a=0-3 -> accept\na=2-5 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let (after, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Swap {
+                first: 0,
+                second: 1,
+            }],
+        )
+        .unwrap();
+        // a in [2,3] flips from accept to discard.
+        assert!(!impact.is_noop());
+        assert_eq!(impact.affected_packets(), 16);
+        assert_eq!(
+            after.decision_for(&Packet::new(vec![2, 0])),
+            Some(Decision::Discard)
+        );
+    }
+
+    #[test]
+    fn swap_of_disjoint_rules_is_noop() {
+        let fw = fw_model::Firewall::parse(
+            tiny_schema(),
+            "a=0-1 -> accept\na=6-7 -> discard\n* -> accept-log\n",
+        )
+        .unwrap();
+        let (_, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Swap {
+                first: 0,
+                second: 1,
+            }],
+        )
+        .unwrap();
+        assert!(impact.is_noop());
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let fw =
+            fw_model::Firewall::parse(tiny_schema(), "a=0-3 -> accept\n* -> discard\n").unwrap();
+        let (_, impact) = ChangeImpact::of_edits(&fw, &[Edit::Remove { index: 0 }]).unwrap();
+        assert_eq!(impact.affected_packets(), 4 * 8);
+        let (_, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Replace {
+                index: 0,
+                rule: Rule::catch_all(fw.schema(), Decision::Accept),
+            }],
+        )
+        .unwrap();
+        assert_eq!(impact.affected_packets(), 4 * 8); // a in 4..8 flips
+    }
+
+    #[test]
+    fn edit_errors_surface() {
+        let fw = paper::team_a();
+        assert!(Edit::Remove { index: 99 }.apply(&fw).is_err());
+        assert!(Edit::Swap {
+            first: 0,
+            second: 99
+        }
+        .apply(&fw)
+        .is_err());
+        assert!(matches!(
+            ChangeImpact::of_edits(&fw, &[Edit::Remove { index: 99 }]),
+            Err(CoreError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn batch_edits_compose() {
+        let fw =
+            fw_model::Firewall::parse(tiny_schema(), "a=0-3 -> accept\n* -> discard\n").unwrap();
+        // Insert then immediately remove the same rule: net no-op.
+        let rule = Rule::catch_all(fw.schema(), Decision::DiscardLog);
+        let (after, impact) = ChangeImpact::of_edits(
+            &fw,
+            &[Edit::Insert { index: 0, rule }, Edit::Remove { index: 0 }],
+        )
+        .unwrap();
+        assert_eq!(after, fw);
+        assert!(impact.is_noop());
+    }
+}

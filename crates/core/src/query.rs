@@ -1,0 +1,206 @@
+//! Firewall queries over FDDs — the companion analysis of the paper's
+//! ref \[20] (*Firewall Queries*, OPODIS 2004), offered as design-phase
+//! tooling: each team can interrogate its own draft ("which hosts can
+//! reach the mail server?", "is any telnet accepted?") before the
+//! cross-team comparison.
+//!
+//! A query asks: *within this packet region, which packets does the policy
+//! map to this decision?* The answer is computed exactly by walking the
+//! FDD with the region as a restriction — no packet enumeration — and is
+//! returned as coalesced boxes in the same human-readable form as
+//! discrepancies.
+
+use fw_model::{Decision, Firewall, Predicate};
+
+use crate::fdd::{Fdd, Node, NodeId};
+use crate::CoreError;
+
+/// Answers to [`query_fdd`]: the disjoint packet regions matching the
+/// question.
+pub type QueryAnswer = Vec<Predicate>;
+
+/// Returns the regions of `within` that `fdd` maps to `decision`.
+///
+/// The result is exact: a packet in `within` gets `decision` if and only
+/// if it lies in one of the returned (pairwise disjoint) boxes.
+pub fn query_fdd(fdd: &Fdd, within: &Predicate, decision: Decision) -> QueryAnswer {
+    let mut out = Vec::new();
+    let mut pred = within.clone();
+    walk(fdd, fdd.root(), &mut pred, decision, &mut out);
+    coalesce_boxes(out)
+}
+
+/// Convenience: builds the FDD and runs [`query_fdd`] on a firewall.
+///
+/// # Errors
+///
+/// As for [`Fdd::from_firewall_fast`].
+pub fn query_firewall(
+    fw: &Firewall,
+    within: &Predicate,
+    decision: Decision,
+) -> Result<QueryAnswer, CoreError> {
+    let fdd = Fdd::from_firewall_fast(fw)?;
+    Ok(query_fdd(&fdd, within, decision))
+}
+
+/// Whether any packet of `within` is mapped to `decision` — the yes/no
+/// form ("does this policy accept any telnet at all?").
+///
+/// # Errors
+///
+/// As for [`query_firewall`].
+pub fn any_match(fw: &Firewall, within: &Predicate, decision: Decision) -> Result<bool, CoreError> {
+    Ok(!query_firewall(fw, within, decision)?.is_empty())
+}
+
+fn walk(fdd: &Fdd, id: NodeId, pred: &mut Predicate, decision: Decision, out: &mut Vec<Predicate>) {
+    match fdd.node(id) {
+        Node::Terminal(d) => {
+            if *d == decision {
+                out.push(pred.clone());
+            }
+        }
+        Node::Internal { field, edges } => {
+            let field = *field;
+            let saved = pred.set(field).clone();
+            for e in edges {
+                let cell = saved.intersect(e.label());
+                if cell.is_empty() {
+                    continue;
+                }
+                *pred = pred
+                    .with_field(field, cell)
+                    .expect("non-empty intersection");
+                walk(fdd, e.target(), pred, decision, out);
+            }
+            *pred = pred
+                .with_field(field, saved)
+                .expect("saved set is non-empty");
+        }
+    }
+}
+
+/// Merges boxes that differ in exactly one field, repeatedly (the same
+/// exact rewrite the discrepancy coalescer applies).
+fn coalesce_boxes(boxes: Vec<Predicate>) -> Vec<Predicate> {
+    // Wrap in throwaway discrepancies to reuse the shared engine.
+    let wrapped: Vec<crate::Discrepancy> = boxes
+        .into_iter()
+        .map(|p| crate::Discrepancy::new(p, Decision::Accept, Decision::Discard))
+        .collect();
+    crate::discrepancy::coalesce(wrapped)
+        .into_iter()
+        .map(|d| d.predicate().clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, FieldId, IntervalSet, Packet, Schema};
+
+    #[test]
+    fn who_can_reach_the_mail_server() {
+        // Team B accepts mail-server traffic only on port 25/TCP from
+        // non-malicious sources (and everything outbound).
+        let fw = paper::team_b();
+        let schema = fw.schema();
+        let inbound_to_mail = Predicate::any(schema)
+            .with_field(FieldId(0), IntervalSet::from_value(0))
+            .unwrap()
+            .with_field(FieldId(2), IntervalSet::from_value(paper::MAIL_SERVER))
+            .unwrap();
+        let accepted = query_firewall(&fw, &inbound_to_mail, fw_model::Decision::Accept).unwrap();
+        assert!(!accepted.is_empty());
+        for region in &accepted {
+            // Only SMTP over TCP survives.
+            assert!(region.set(FieldId(3)).contains(paper::SMTP));
+            assert_eq!(region.set(FieldId(3)).count(), 1);
+            assert!(region.set(FieldId(4)).contains(paper::TCP));
+            // Malicious sources never appear.
+            assert!(!region.set(FieldId(1)).contains(paper::MALICIOUS_LO));
+        }
+    }
+
+    #[test]
+    fn query_answers_partition_the_region() {
+        let fw = paper::team_a();
+        let schema = fw.schema();
+        let region = Predicate::any(schema)
+            .with_field(FieldId(0), IntervalSet::from_value(0))
+            .unwrap();
+        let acc = query_firewall(&fw, &region, fw_model::Decision::Accept).unwrap();
+        let dis = query_firewall(&fw, &region, fw_model::Decision::Discard).unwrap();
+        // Disjointness across answers.
+        for a in &acc {
+            for d in &dis {
+                assert!(a.intersect(d).is_none());
+            }
+        }
+        // Pointwise agreement with the firewall on witnesses.
+        for b in acc.iter().chain(&dis) {
+            let w = b.witness();
+            let expected = fw.decision_for(&w);
+            let in_acc = acc.iter().any(|x| x.matches(&w));
+            assert_eq!(in_acc, expected == Some(fw_model::Decision::Accept));
+        }
+    }
+
+    #[test]
+    fn any_match_detects_holes() {
+        let fw = paper::team_a();
+        let schema = fw.schema();
+        // Does Team A accept anything FROM the malicious domain? Yes —
+        // the port-25 hole Table 3 exposes.
+        let from_malicious = Predicate::any(schema)
+            .with_field(FieldId(0), IntervalSet::from_value(0))
+            .unwrap()
+            .with_field(
+                FieldId(1),
+                IntervalSet::from_interval(
+                    fw_model::Interval::new(paper::MALICIOUS_LO, paper::MALICIOUS_HI).unwrap(),
+                ),
+            )
+            .unwrap();
+        assert!(any_match(&fw, &from_malicious, fw_model::Decision::Accept).unwrap());
+        // Team B does not.
+        assert!(!any_match(
+            &paper::team_b(),
+            &from_malicious,
+            fw_model::Decision::Accept
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn query_on_tiny_schema_matches_enumeration() {
+        let schema = Schema::new(vec![
+            fw_model::FieldDef::new("a", 3).unwrap(),
+            fw_model::FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let fw = Firewall::parse(
+            schema.clone(),
+            "a=0-3, b=2-5 -> discard\na=2-6 -> accept\n* -> discard\n",
+        )
+        .unwrap();
+        let region = Predicate::any(&schema)
+            .with_field(
+                FieldId(0),
+                IntervalSet::from_interval(fw_model::Interval::new(1, 5).unwrap()),
+            )
+            .unwrap();
+        for decision in fw_model::Decision::ALL {
+            let answer = query_firewall(&fw, &region, decision).unwrap();
+            for a in 0..8u64 {
+                for b in 0..8u64 {
+                    let p = Packet::new(vec![a, b]);
+                    let expect = region.matches(&p) && fw.decision_for(&p) == Some(decision);
+                    let got = answer.iter().any(|x| x.matches(&p));
+                    assert_eq!(expect, got, "decision {decision} at {p}");
+                }
+            }
+        }
+    }
+}

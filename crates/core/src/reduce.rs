@@ -1,0 +1,283 @@
+//! FDD **reduction**: bottom-up hash-consing of isomorphic subgraphs and
+//! merging of sibling edges that point to the same child.
+//!
+//! The paper's companion work (*Structured Firewall Design*, ref \[12]) uses
+//! reduction as the first step of generating a compact rule sequence from an
+//! FDD; here it also yields a canonical DAG useful for size statistics and
+//! fast structural equivalence ([`Fdd::isomorphic`]). Reduction preserves
+//! semantics but generally destroys tree-ness — run [`Fdd::to_simple`] to go
+//! back to the form shaping requires.
+
+use std::collections::HashMap;
+
+use fw_model::{Decision, FieldId, IntervalSet};
+
+use crate::fdd::{Edge, Fdd, Node, NodeId};
+
+/// Canonical signature of a reduced node, used for hash-consing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Signature {
+    Terminal(Decision),
+    Internal(FieldId, Vec<((u64, u64), NodeId)>), // sorted (interval, child)
+}
+
+impl Fdd {
+    /// Returns the canonical reduced form: no two reachable nodes are
+    /// isomorphic, no node has two outgoing edges to the same child, and a
+    /// node with a single full-domain edge is elided.
+    ///
+    /// Two equivalent ordered FDDs over the same schema reduce to
+    /// structurally identical diagrams, which is what [`Fdd::isomorphic`]
+    /// checks.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fw_core::CoreError> {
+    /// use fw_core::Fdd;
+    /// use fw_model::paper;
+    ///
+    /// let fdd = Fdd::from_firewall(&paper::team_a())?;
+    /// let reduced = fdd.reduced();
+    /// assert!(reduced.node_count() <= fdd.node_count());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn reduced(&self) -> Fdd {
+        let mut out = Fdd::empty(self.schema().clone());
+        let mut cons: HashMap<Signature, NodeId> = HashMap::new();
+        let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+        let root = reduce_node(self, self.root(), &mut out, &mut cons, &mut memo);
+        out.set_root(root);
+        out
+    }
+
+    /// Whether two FDDs have identical reduced structure — i.e. they are
+    /// equivalent *as ordered diagrams over the same schema*.
+    ///
+    /// This is a complete equivalence test for diagrams produced by
+    /// [`Fdd::from_firewall`] under one schema, and is cheaper than the full
+    /// shape-and-compare pipeline when no discrepancy listing is needed.
+    pub fn isomorphic(&self, other: &Fdd) -> bool {
+        if self.schema() != other.schema() {
+            return false;
+        }
+        let (a, b) = (self.reduced(), other.reduced());
+        fn rec(a: &Fdd, va: NodeId, b: &Fdd, vb: NodeId) -> bool {
+            match (a.node(va), b.node(vb)) {
+                (Node::Terminal(x), Node::Terminal(y)) => x == y,
+                (
+                    Node::Internal {
+                        field: fa,
+                        edges: ea,
+                    },
+                    Node::Internal {
+                        field: fb,
+                        edges: eb,
+                    },
+                ) => {
+                    fa == fb
+                        && ea.len() == eb.len()
+                        && ea
+                            .iter()
+                            .zip(eb)
+                            .all(|(x, y)| x.label == y.label && rec(a, x.target, b, y.target))
+                }
+                _ => false,
+            }
+        }
+        rec(&a, a.root(), &b, b.root())
+    }
+}
+
+fn reduce_node(
+    src: &Fdd,
+    id: NodeId,
+    out: &mut Fdd,
+    cons: &mut HashMap<Signature, NodeId>,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    if let Some(&n) = memo.get(&id) {
+        return n;
+    }
+    let new_id = match src.node(id) {
+        Node::Terminal(d) => intern(out, cons, Signature::Terminal(*d)),
+        Node::Internal { field, edges } => {
+            // Reduce children first, merging sibling edges per child.
+            let mut per_child: HashMap<NodeId, IntervalSet> = HashMap::new();
+            for e in edges {
+                let child = reduce_node(src, e.target, out, cons, memo);
+                per_child
+                    .entry(child)
+                    .and_modify(|s| *s = s.union(&e.label))
+                    .or_insert_with(|| e.label.clone());
+            }
+            let mut merged: Vec<(IntervalSet, NodeId)> = per_child
+                .into_iter()
+                .map(|(child, label)| (label, child))
+                .collect();
+            if merged.len() == 1 && merged[0].0.covers(src.schema().field(*field).domain()) {
+                // Single full-domain edge: the node is redundant.
+                let child = merged[0].1;
+                memo.insert(id, child);
+                return child;
+            }
+            merged.sort_by_key(|(label, _)| label.min_value());
+            let sig = Signature::Internal(*field, signature_edges(&merged));
+            match cons.get(&sig) {
+                Some(&n) => n,
+                None => {
+                    let node = Node::Internal {
+                        field: *field,
+                        edges: merged
+                            .into_iter()
+                            .map(|(label, target)| Edge { label, target })
+                            .collect(),
+                    };
+                    let n = out.push(node);
+                    cons.insert(sig, n);
+                    n
+                }
+            }
+        }
+    };
+    memo.insert(id, new_id);
+    new_id
+}
+
+fn signature_edges(edges: &[(IntervalSet, NodeId)]) -> Vec<((u64, u64), NodeId)> {
+    let mut sig: Vec<((u64, u64), NodeId)> = edges
+        .iter()
+        .flat_map(|(label, child)| label.iter().map(move |iv| ((iv.lo(), iv.hi()), *child)))
+        .collect();
+    sig.sort_unstable();
+    sig
+}
+
+fn intern(out: &mut Fdd, cons: &mut HashMap<Signature, NodeId>, sig: Signature) -> NodeId {
+    if let Some(&n) = cons.get(&sig) {
+        return n;
+    }
+    let node = match &sig {
+        Signature::Terminal(d) => Node::Terminal(*d),
+        Signature::Internal(..) => unreachable!("terminal signature expected"),
+    };
+    let n = out.push(node);
+    cons.insert(sig, n);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, FieldDef, Firewall, Packet, Schema};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn exhaustive_eq(x: &Fdd, y: &Fdd) {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let p = Packet::new(vec![a, b]);
+                assert_eq!(x.decision_for(&p), y.decision_for(&p), "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_semantics() {
+        let fw = Firewall::parse(
+            tiny_schema(),
+            "a=0-3, b=2-5 -> discard\na=2-6 -> accept\n* -> discard\n",
+        )
+        .unwrap();
+        let fdd = Fdd::from_firewall(&fw).unwrap();
+        let red = fdd.reduced();
+        red.validate().unwrap();
+        exhaustive_eq(&fdd, &red);
+        assert!(red.node_count() <= fdd.node_count());
+    }
+
+    #[test]
+    fn reduction_elides_trivial_levels() {
+        // Field b is never tested meaningfully: all paths accept.
+        let fw = Firewall::parse(tiny_schema(), "a=0-7 -> accept\n* -> discard\n").unwrap();
+        let red = Fdd::from_firewall(&fw).unwrap().reduced();
+        // The whole diagram collapses to a single accept terminal.
+        assert_eq!(red.node_count(), 1);
+        assert_eq!(red.path_count(), 1);
+    }
+
+    #[test]
+    fn reduction_merges_isomorphic_subtrees() {
+        let fw = Firewall::parse(
+            tiny_schema(),
+            "a=0-1, b=0-3 -> discard\na=4-5, b=0-3 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let fdd = Fdd::from_firewall(&fw).unwrap();
+        let red = fdd.reduced();
+        exhaustive_eq(&fdd, &red);
+        // The identical subtrees under a=0-1 and a=4-5 are shared now.
+        assert!(!red.is_tree() || red.node_count() < fdd.node_count());
+    }
+
+    #[test]
+    fn reduction_merges_same_child_edges() {
+        // a=0-1 and a=6-7 behave identically => one edge with a 2-run label.
+        let fw = Firewall::parse(tiny_schema(), "a=2-5 -> discard\n* -> accept\n").unwrap();
+        let red = Fdd::from_firewall(&fw).unwrap().reduced();
+        match red.view(red.root()) {
+            crate::fdd::NodeView::Internal { edges, .. } => {
+                assert_eq!(edges.len(), 2);
+                let multi = edges.iter().find(|e| e.label().run_count() == 2);
+                assert!(multi.is_some(), "expected a merged 2-run edge label");
+            }
+            _ => panic!("root should be internal"),
+        }
+    }
+
+    #[test]
+    fn isomorphic_detects_equivalence_across_rule_orders() {
+        // Two different-looking but equivalent policies.
+        let f1 = Firewall::parse(
+            tiny_schema(),
+            "a=0-3 -> accept\na=4-7 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let f2 = Firewall::parse(tiny_schema(), "a=4-7 -> discard\n* -> accept\n").unwrap();
+        let x = Fdd::from_firewall(&f1).unwrap();
+        let y = Fdd::from_firewall(&f2).unwrap();
+        assert!(x.isomorphic(&y));
+        // And inequivalence is detected.
+        let f3 = Firewall::parse(tiny_schema(), "* -> accept").unwrap();
+        assert!(!x.isomorphic(&Fdd::from_firewall(&f3).unwrap()));
+    }
+
+    #[test]
+    fn paper_fdds_reduce_and_stay_correct() {
+        for fw in [paper::team_a(), paper::team_b()] {
+            let fdd = Fdd::from_firewall(&fw).unwrap();
+            let red = fdd.reduced();
+            red.validate().unwrap();
+            for p in fw.witnesses() {
+                assert_eq!(red.decision_for(&p), fw.decision_for(&p));
+            }
+            assert!(red.node_count() <= fdd.node_count());
+        }
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let fdd = Fdd::from_firewall(&paper::team_b()).unwrap();
+        let once = fdd.reduced();
+        let twice = once.reduced();
+        assert!(once.isomorphic(&twice));
+        assert_eq!(once.node_count(), twice.node_count());
+    }
+}

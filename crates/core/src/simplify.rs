@@ -1,0 +1,188 @@
+//! Transformation to **simple FDD** form (paper §4.1, Definition 4.3): every
+//! node has at most one incoming edge and every edge is labelled with a
+//! single interval.
+//!
+//! The two semantics-preserving operations used are exactly the paper's
+//! *edge splitting* (an edge labelled `S1 ∪ S2` becomes two edges) and
+//! *subgraph replication* (a shared subgraph is copied so each incoming edge
+//! gets its own). A simple FDD is an outgoing directed tree, the input form
+//! the shaping algorithm requires.
+
+use fw_model::IntervalSet;
+
+use crate::fdd::{Edge, Fdd, Node, NodeId};
+
+impl Fdd {
+    /// Returns an equivalent *simple* FDD: a tree whose every edge carries a
+    /// single interval, with edges sorted ascending by interval — the
+    /// canonical input to [`crate::shape_pair`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fw_core::CoreError> {
+    /// use fw_core::Fdd;
+    /// use fw_model::paper;
+    ///
+    /// let fdd = Fdd::from_firewall(&paper::team_b())?;
+    /// let simple = fdd.to_simple();
+    /// assert!(simple.is_simple());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_simple(&self) -> Fdd {
+        let mut out = Fdd::empty(self.schema().clone());
+        let root = simplify_node(self, self.root(), &mut out);
+        out.set_root(root);
+        out
+    }
+}
+
+/// Recursively copies `id` from `src` into `dst`, splitting multi-interval
+/// labels and replicating shared targets (the destination is built fresh, so
+/// every node naturally ends up with one parent).
+fn simplify_node(src: &Fdd, id: NodeId, dst: &mut Fdd) -> NodeId {
+    match src.node(id) {
+        Node::Terminal(d) => dst.push(Node::Terminal(*d)),
+        Node::Internal { field, edges } => {
+            let field = *field;
+            // (lo, single-interval label, source target) triples, sorted.
+            let mut split: Vec<(u64, IntervalSet, NodeId)> = Vec::new();
+            for e in edges {
+                for iv in e.label.iter() {
+                    split.push((iv.lo(), IntervalSet::from_interval(*iv), e.target));
+                }
+            }
+            split.sort_unstable_by_key(|(lo, _, _)| *lo);
+            let new_edges: Vec<Edge> = split
+                .into_iter()
+                .map(|(_, label, target)| Edge {
+                    label,
+                    // Each edge gets its own replica of the target subtree.
+                    target: simplify_node(src, target, dst),
+                })
+                .collect();
+            dst.push(Node::Internal {
+                field,
+                edges: new_edges,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdd::{label, FddBuilder};
+    use fw_model::{paper, Decision, FieldDef, FieldId, Firewall, Interval, Packet, Schema};
+
+    #[test]
+    fn simple_form_preserves_semantics_exhaustively() {
+        let schema = Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let fw = Firewall::parse(
+            schema,
+            "a=0|3|5-6, b=1-2|7 -> discard\na=1, b=0|4 -> accept-log\n* -> accept\n",
+        )
+        .unwrap();
+        let fdd = Fdd::from_firewall(&fw).unwrap();
+        let simple = fdd.to_simple();
+        simple.validate().unwrap();
+        assert!(simple.is_simple());
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let p = Packet::new(vec![a, b]);
+                assert_eq!(fdd.decision_for(&p), simple.decision_for(&p), "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_subgraph_is_replicated() {
+        // Hand-build a DAG: two edges to the same child.
+        let schema = Schema::new(vec![
+            FieldDef::new("a", 2).unwrap(),
+            FieldDef::new("b", 2).unwrap(),
+        ])
+        .unwrap();
+        let mut b = FddBuilder::new(schema);
+        let acc = b.terminal(Decision::Accept);
+        let dis = b.terminal(Decision::Discard);
+        let child = b
+            .internal(FieldId(1), vec![(label(0, 1), acc), (label(2, 3), dis)])
+            .unwrap();
+        let root = b
+            .internal(FieldId(0), vec![(label(0, 1), child), (label(2, 3), child)])
+            .unwrap();
+        let fdd = b.finish(root).unwrap();
+        assert!(!fdd.is_tree());
+        let simple = fdd.to_simple();
+        assert!(simple.is_tree());
+        assert!(simple.is_simple());
+        simple.validate().unwrap();
+        for a in 0..4u64 {
+            for bb in 0..4u64 {
+                let p = Packet::new(vec![a, bb]);
+                assert_eq!(fdd.decision_for(&p), simple.decision_for(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_interval_labels_split_and_sorted() {
+        let schema = Schema::new(vec![FieldDef::new("a", 3).unwrap()]).unwrap();
+        let mut b = FddBuilder::new(schema);
+        let acc = b.terminal(Decision::Accept);
+        let dis = b.terminal(Decision::Discard);
+        let root = b
+            .internal(
+                FieldId(0),
+                vec![
+                    (
+                        IntervalSet::from_intervals(vec![
+                            Interval::new(0, 1).unwrap(),
+                            Interval::new(4, 5).unwrap(),
+                        ]),
+                        acc,
+                    ),
+                    (
+                        IntervalSet::from_intervals(vec![
+                            Interval::new(2, 3).unwrap(),
+                            Interval::new(6, 7).unwrap(),
+                        ]),
+                        dis,
+                    ),
+                ],
+            )
+            .unwrap();
+        let fdd = b.finish(root).unwrap();
+        let simple = fdd.to_simple();
+        match simple.view(simple.root()) {
+            crate::fdd::NodeView::Internal { edges, .. } => {
+                assert_eq!(edges.len(), 4);
+                let los: Vec<u64> = edges
+                    .iter()
+                    .map(|e| e.label().min_value().unwrap())
+                    .collect();
+                assert_eq!(los, vec![0, 2, 4, 6]);
+            }
+            _ => panic!("root should be internal"),
+        }
+    }
+
+    #[test]
+    fn paper_fdds_become_simple() {
+        for fw in [paper::team_a(), paper::team_b()] {
+            let fdd = Fdd::from_firewall(&fw).unwrap();
+            let simple = fdd.to_simple();
+            simple.validate().unwrap();
+            assert!(simple.is_simple());
+            for p in fw.witnesses() {
+                assert_eq!(simple.decision_for(&p), fw.decision_for(&p));
+            }
+        }
+    }
+}

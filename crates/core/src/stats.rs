@@ -1,0 +1,125 @@
+//! Size and shape statistics for FDDs, used by the evaluation harness and
+//! the field-ordering ablation.
+
+use std::collections::HashMap;
+
+use fw_model::FieldId;
+use serde::{Deserialize, Serialize};
+
+use crate::fdd::{Fdd, Node, NodeId};
+
+/// Summary statistics of one diagram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FddStats {
+    /// Reachable nodes (internal + terminal).
+    pub nodes: usize,
+    /// Reachable terminal nodes.
+    pub terminals: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Total intervals across all edge labels (the simple-FDD edge count).
+    pub intervals: usize,
+    /// Root-to-terminal decision paths, saturating.
+    pub paths: u128,
+    /// Maximum path length in edges.
+    pub depth: usize,
+    /// Internal nodes per field, indexed by field position.
+    pub nodes_per_field: Vec<usize>,
+}
+
+impl Fdd {
+    /// Computes [`FddStats`] for the reachable part of the diagram.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), fw_core::CoreError> {
+    /// use fw_core::Fdd;
+    /// use fw_model::paper;
+    ///
+    /// let stats = Fdd::from_firewall(&paper::team_a())?.stats();
+    /// assert_eq!(stats.depth, 5);
+    /// assert!(stats.nodes > stats.terminals);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats(&self) -> FddStats {
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut stack = vec![self.root()];
+        let mut stats = FddStats {
+            nodes: 0,
+            terminals: 0,
+            edges: 0,
+            intervals: 0,
+            paths: self.path_count(),
+            depth: self.depth(),
+            nodes_per_field: vec![0; self.schema().len()],
+        };
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            stats.nodes += 1;
+            match self.node(id) {
+                Node::Terminal(_) => stats.terminals += 1,
+                Node::Internal { field, edges } => {
+                    stats.nodes_per_field[FieldId::index(*field)] += 1;
+                    stats.edges += edges.len();
+                    for e in edges {
+                        stats.intervals += e.label().run_count();
+                        stack.push(e.target());
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    #[test]
+    fn stats_are_consistent() {
+        let fdd = Fdd::from_firewall(&paper::team_b()).unwrap();
+        let s = fdd.stats();
+        assert_eq!(s.nodes, fdd.node_count());
+        assert_eq!(s.paths, fdd.path_count());
+        assert_eq!(s.depth, 5);
+        assert!(s.intervals >= s.edges);
+        assert_eq!(
+            s.nodes_per_field.iter().sum::<usize>() + s.terminals,
+            s.nodes
+        );
+        // Tree: every non-root node has exactly one incoming edge.
+        assert_eq!(s.edges, s.nodes - 1);
+    }
+
+    #[test]
+    fn reduced_stats_shrink() {
+        let fdd = Fdd::from_firewall(&paper::team_b()).unwrap();
+        let r = fdd.reduced();
+        let (a, b) = (fdd.stats(), r.stats());
+        assert!(b.nodes <= a.nodes);
+        assert!(b.terminals <= a.terminals);
+        // Reduction of a complete diagram keeps semantics, so paths can
+        // only shrink or hold.
+        assert!(b.paths <= a.paths);
+    }
+
+    #[test]
+    fn constant_diagram_stats() {
+        let fdd = Fdd::constant(
+            fw_model::Schema::paper_example(),
+            fw_model::Decision::Accept,
+        );
+        let s = fdd.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.terminals, 1);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.paths, 1);
+        assert_eq!(s.depth, 0);
+    }
+}

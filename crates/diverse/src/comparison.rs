@@ -1,0 +1,174 @@
+//! The **comparison phase** (paper §2, phase 2): detect all functional
+//! discrepancies among the versions the design teams produced.
+
+use fw_core::{Discrepancy, MultiDiscrepancy};
+use fw_model::{Firewall, Packet};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::DiverseError;
+
+/// The outcome of comparing `N ≥ 2` independently designed versions: every
+/// packet region on which the versions do not all agree, with each
+/// version's decision (§7.3's *direct comparison*).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_diverse::DiverseError> {
+/// use fw_diverse::Comparison;
+/// use fw_model::paper;
+///
+/// let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()])?;
+/// assert_eq!(cmp.discrepancies().len(), 3); // the paper's Table 3
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    versions: Vec<Firewall>,
+    discrepancies: Vec<MultiDiscrepancy>,
+}
+
+impl Comparison {
+    /// Runs the comparison phase over the given versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`fw_core::CoreError`] for mismatched schemas,
+    /// non-comprehensive versions, or fewer than two versions.
+    pub fn of(versions: Vec<Firewall>) -> Result<Comparison, DiverseError> {
+        let discrepancies = fw_core::direct_compare(&versions)?;
+        Ok(Comparison {
+            versions,
+            discrepancies,
+        })
+    }
+
+    /// The compared versions, in team order.
+    pub fn versions(&self) -> &[Firewall] {
+        &self.versions
+    }
+
+    /// All functional discrepancies, each with one decision per version.
+    pub fn discrepancies(&self) -> &[MultiDiscrepancy] {
+        &self.discrepancies
+    }
+
+    /// Whether the teams produced semantically identical designs.
+    pub fn versions_agree(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+
+    /// The decision every version assigns to `packet`, in team order.
+    pub fn decisions_for(&self, packet: &Packet) -> Vec<Option<fw_model::Decision>> {
+        self.versions
+            .iter()
+            .map(|v| v.decision_for(packet))
+            .collect()
+    }
+
+    /// The pairwise discrepancies between versions `i` and `j` implied by
+    /// the `N`-way comparison.
+    pub fn pair(&self, i: usize, j: usize) -> Vec<Discrepancy> {
+        fw_core::project_pair(&self.discrepancies, i, j)
+    }
+}
+
+/// Cross comparison of all version pairs (§7.3), fanned out across threads —
+/// each of the `N·(N−1)/2` pairwise pipelines is independent, so they run
+/// concurrently under `crossbeam::scope`.
+///
+/// # Errors
+///
+/// As for [`fw_core::cross_compare`] (the first error encountered wins).
+pub fn cross_compare_parallel(
+    versions: &[Firewall],
+) -> Result<fw_core::PairwiseDiscrepancies, DiverseError> {
+    if versions.len() < 2 {
+        return Err(DiverseError::Core(fw_core::CoreError::Invariant(
+            "need at least two versions to compare".to_owned(),
+        )));
+    }
+    let pairs: Vec<(usize, usize)> = (0..versions.len())
+        .flat_map(|i| ((i + 1)..versions.len()).map(move |j| (i, j)))
+        .collect();
+    let results: Mutex<fw_core::PairwiseDiscrepancies> =
+        Mutex::new(Vec::with_capacity(pairs.len()));
+    let first_error: Mutex<Option<fw_core::CoreError>> = Mutex::new(None);
+    crossbeam::thread::scope(|s| {
+        for &(i, j) in &pairs {
+            let results = &results;
+            let first_error = &first_error;
+            let (a, b) = (&versions[i], &versions[j]);
+            s.spawn(move |_| match fw_core::compare_firewalls(a, b) {
+                Ok(ds) => results.lock().push(((i, j), ds)),
+                Err(e) => {
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            });
+        }
+    })
+    .expect("comparison worker threads do not panic");
+    if let Some(e) = first_error.into_inner() {
+        return Err(e.into());
+    }
+    let mut out = results.into_inner();
+    out.sort_by_key(|(k, _)| *k);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    #[test]
+    fn two_team_comparison_matches_table_3() {
+        let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()]).unwrap();
+        assert_eq!(cmp.discrepancies().len(), 3);
+        assert!(!cmp.versions_agree());
+        for d in cmp.discrepancies() {
+            assert_eq!(d.decisions().len(), 2);
+        }
+        // Projection equals the pairwise pipeline.
+        let pair = cmp.pair(0, 1);
+        assert_eq!(pair.len(), 3);
+    }
+
+    #[test]
+    fn identical_versions_agree() {
+        let cmp = Comparison::of(vec![paper::team_a(), paper::team_a()]).unwrap();
+        assert!(cmp.versions_agree());
+    }
+
+    #[test]
+    fn parallel_cross_compare_matches_serial() {
+        let versions = vec![paper::team_a(), paper::team_b(), paper::team_a()];
+        let parallel = cross_compare_parallel(&versions).unwrap();
+        let serial = fw_core::cross_compare(&versions).unwrap();
+        assert_eq!(parallel.len(), serial.len());
+        for ((pk, pv), (sk, sv)) in parallel.iter().zip(&serial) {
+            assert_eq!(pk, sk);
+            assert_eq!(pv.len(), sv.len());
+        }
+    }
+
+    #[test]
+    fn decisions_for_reports_all_versions() {
+        let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()]).unwrap();
+        let w = cmp.discrepancies()[0].witness();
+        let decs = cmp.decisions_for(&w);
+        assert_eq!(decs.len(), 2);
+        assert_ne!(decs[0], decs[1]);
+    }
+
+    #[test]
+    fn single_version_rejected() {
+        assert!(Comparison::of(vec![paper::team_a()]).is_err());
+        assert!(cross_compare_parallel(&[paper::team_a()]).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based verification of the end-to-end workflow: for random team
+//! versions and random resolutions, Method 1 and Method 2 must agree, the
+//! final firewall must implement the resolution exactly, and undisputed
+//! packets must keep the unanimous decision.
+
+use fw_diverse::{finalize, method1, method2, Comparison, Resolution};
+use fw_model::{
+    Decision, FieldDef, Firewall, Interval, IntervalSet, Packet, Predicate, Rule, Schema,
+};
+use proptest::prelude::*;
+
+fn tiny_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn all_packets(schema: &Schema) -> Vec<Packet> {
+    let mut packets = vec![vec![]];
+    for (_, f) in schema.iter() {
+        let mut next = Vec::new();
+        for p in &packets {
+            for v in 0..=f.max() {
+                let mut q = p.clone();
+                q.push(v);
+                next.push(q);
+            }
+        }
+        packets = next;
+    }
+    packets.into_iter().map(Packet::new).collect()
+}
+
+fn arb_set(bits: u32) -> impl Strategy<Value = IntervalSet> {
+    let max = (1u64 << bits) - 1;
+    (0..=max, 0..=max)
+        .prop_map(|(x, y)| IntervalSet::from_interval(Interval::new(x.min(y), x.max(y)).unwrap()))
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (arb_set(3), arb_set(3), prop::bool::ANY).prop_map(|(a, b, acc)| {
+        Rule::new(
+            Predicate::new(&tiny_schema(), vec![a, b]).unwrap(),
+            if acc {
+                Decision::Accept
+            } else {
+                Decision::Discard
+            },
+        )
+    })
+}
+
+prop_compose! {
+    fn arb_firewall()(rules in prop::collection::vec(arb_rule(), 0..5), last in prop::bool::ANY)
+        -> Firewall
+    {
+        let schema = tiny_schema();
+        let mut rules = rules;
+        rules.push(Rule::catch_all(
+            &schema,
+            if last { Decision::Accept } else { Decision::Discard },
+        ));
+        Firewall::new(schema, rules).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn finalize_implements_resolution(
+        fa in arb_firewall(),
+        fb in arb_firewall(),
+        picks in prop::collection::vec(prop::bool::ANY, 0..64)
+    ) {
+        let cmp = Comparison::of(vec![fa.clone(), fb.clone()]).unwrap();
+        // Random but deterministic per-discrepancy choice.
+        let mut i = 0;
+        let res = Resolution::by(&cmp, |d| {
+            let pick = picks.get(i % picks.len().max(1)).copied().unwrap_or(true);
+            i += 1;
+            if pick { d.decisions()[0] } else { d.decisions()[1] }
+        });
+        let agreed = finalize(&cmp, &res).unwrap();
+        // Oracle: resolved decision inside disputed regions, common
+        // decision elsewhere.
+        for p in all_packets(fa.schema()) {
+            let expect = match res
+                .entries()
+                .iter()
+                .find(|e| e.discrepancy().predicate().matches(&p))
+            {
+                Some(e) => Some(e.decision()),
+                None => fa.decision_for(&p),
+            };
+            prop_assert_eq!(agreed.decision_for(&p), expect, "at {}", p);
+        }
+    }
+
+    #[test]
+    fn methods_agree_for_majority_resolution(
+        fa in arb_firewall(), fb in arb_firewall(), fc in arb_firewall()
+    ) {
+        let cmp = Comparison::of(vec![fa, fb, fc]).unwrap();
+        let res = Resolution::by_majority(&cmp);
+        let m1 = method1(&cmp, &res).unwrap();
+        for base in 0..3 {
+            let m2 = method2(&cmp, &res, base).unwrap();
+            prop_assert!(fw_core::equivalent(&m1, &m2).unwrap(), "base {}", base);
+        }
+    }
+
+    #[test]
+    fn by_version_finalize_equals_that_version(fa in arb_firewall(), fb in arb_firewall()) {
+        let cmp = Comparison::of(vec![fa.clone(), fb]).unwrap();
+        let res = Resolution::by_version(&cmp, 0).unwrap();
+        let agreed = finalize(&cmp, &res).unwrap();
+        prop_assert!(fw_core::equivalent(&agreed, &fa).unwrap());
+    }
+}

@@ -1,0 +1,149 @@
+//! Hyper-rectangle ("box") arithmetic over rule predicates.
+//!
+//! The redundancy analysis of paper ref \[19] works with the *effective
+//! portion* of a rule: the part of its predicate not already matched by
+//! higher-priority rules. Predicates are axis-aligned boxes (one value set
+//! per field), and the only operation needed beyond `fw-model`'s field-wise
+//! intersection is **box subtraction**, which decomposes a difference of
+//! boxes into at most `d` disjoint boxes:
+//!
+//! ```text
+//! B \ P = ⋃ₖ  (B₁∩P₁) × … × (Bₖ₋₁∩Pₖ₋₁) × (Bₖ∖Pₖ) × Bₖ₊₁ × … × B_d
+//! ```
+
+use fw_model::{FieldId, Predicate};
+
+/// Subtracts predicate `p` from box `b`, returning disjoint boxes covering
+/// exactly `b ∖ p`.
+pub fn subtract(b: &Predicate, p: &Predicate) -> Vec<Predicate> {
+    debug_assert_eq!(b.arity(), p.arity());
+    if b.intersect(p).is_none() {
+        return vec![b.clone()];
+    }
+    let mut out = Vec::new();
+    let mut prefix = b.clone(); // fields < k already intersected with p
+    for k in 0..b.arity() {
+        let id = FieldId(k);
+        let residue = b.set(id).subtract(p.set(id));
+        if !residue.is_empty() {
+            let piece = prefix
+                .with_field(id, residue)
+                .expect("non-empty residue keeps the predicate valid");
+            out.push(piece);
+        }
+        let overlap = b.set(id).intersect(p.set(id));
+        if overlap.is_empty() {
+            // b and p are disjoint on field k: handled by the early return,
+            // but guard anyway — nothing below k can intersect.
+            return out;
+        }
+        prefix = prefix.with_field(id, overlap).expect("non-empty overlap");
+    }
+    out
+}
+
+/// Subtracts `p` from every box in `boxes`, keeping the result disjoint.
+pub fn subtract_all(boxes: Vec<Predicate>, p: &Predicate) -> Vec<Predicate> {
+    boxes.into_iter().flat_map(|b| subtract(&b, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{FieldDef, FieldId, Interval, IntervalSet, Packet, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("x", 3).unwrap(),
+            FieldDef::new("y", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn boxed(x: (u64, u64), y: (u64, u64)) -> Predicate {
+        Predicate::any(&schema())
+            .with_field(
+                FieldId(0),
+                IntervalSet::from_interval(Interval::new(x.0, x.1).unwrap()),
+            )
+            .unwrap()
+            .with_field(
+                FieldId(1),
+                IntervalSet::from_interval(Interval::new(y.0, y.1).unwrap()),
+            )
+            .unwrap()
+    }
+
+    fn check_subtract(b: &Predicate, p: &Predicate) {
+        let pieces = subtract(b, p);
+        // Disjoint pieces.
+        for (i, a) in pieces.iter().enumerate() {
+            for c in &pieces[i + 1..] {
+                assert!(a.intersect(c).is_none(), "pieces overlap");
+            }
+        }
+        // Exact membership.
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let pt = Packet::new(vec![x, y]);
+                let expect = b.matches(&pt) && !p.matches(&pt);
+                let got = pieces.iter().any(|q| q.matches(&pt));
+                assert_eq!(expect, got, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_inner_box() {
+        check_subtract(&boxed((0, 7), (0, 7)), &boxed((2, 4), (3, 5)));
+    }
+
+    #[test]
+    fn subtract_disjoint_box() {
+        let b = boxed((0, 2), (0, 2));
+        let p = boxed((5, 7), (5, 7));
+        assert_eq!(subtract(&b, &p), vec![b.clone()]);
+        check_subtract(&b, &p);
+    }
+
+    #[test]
+    fn subtract_covering_box_is_empty() {
+        assert!(subtract(&boxed((2, 4), (3, 5)), &boxed((0, 7), (0, 7))).is_empty());
+    }
+
+    #[test]
+    fn subtract_partial_overlaps() {
+        check_subtract(&boxed((0, 5), (2, 7)), &boxed((3, 7), (0, 4)));
+        check_subtract(&boxed((0, 7), (1, 1)), &boxed((4, 4), (0, 7)));
+    }
+
+    #[test]
+    fn subtract_multi_run_sets() {
+        let b = Predicate::any(&schema())
+            .with_field(
+                FieldId(0),
+                IntervalSet::from_intervals(vec![
+                    Interval::new(0, 1).unwrap(),
+                    Interval::new(5, 7).unwrap(),
+                ]),
+            )
+            .unwrap();
+        let p = boxed((1, 6), (2, 5));
+        check_subtract(&b, &p);
+    }
+
+    #[test]
+    fn subtract_all_chains() {
+        let space = vec![boxed((0, 7), (0, 7))];
+        let after = subtract_all(space, &boxed((0, 3), (0, 7)));
+        let after = subtract_all(after, &boxed((4, 7), (0, 3)));
+        // Remaining: x in 4..=7, y in 4..=7.
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let pt = Packet::new(vec![x, y]);
+                let expect = x >= 4 && y >= 4;
+                assert_eq!(after.iter().any(|q| q.matches(&pt)), expect, "at ({x},{y})");
+            }
+        }
+    }
+}

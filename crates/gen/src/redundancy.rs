@@ -1,0 +1,292 @@
+//! **Complete redundancy detection** for firewall policies — the paper's
+//! ref \[19] substrate, used by the resolution phase's Method 2 (§6.2,
+//! Step 2) to compact a policy after prepending correction rules.
+//!
+//! A rule is *redundant* iff removing it leaves the policy's semantics
+//! unchanged. Following \[19], redundancy splits into:
+//!
+//! * **upward redundancy** — the rule's *effective portion* (the part of
+//!   its predicate not matched by any higher-priority rule) is empty: the
+//!   rule never fires;
+//! * **downward redundancy** — the rule fires, but every packet in its
+//!   effective portion would receive the same decision from the rules below
+//!   it.
+//!
+//! The effective portion is computed exactly with box arithmetic
+//! ([`crate::boxes`]), so both checks are exact, not heuristic.
+
+use fw_core::CoreError;
+use fw_model::{Decision, Firewall, Predicate};
+use serde::{Deserialize, Serialize};
+
+use crate::boxes::{subtract, subtract_all};
+
+/// Why a rule is redundant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundancyKind {
+    /// The rule never fires (fully shadowed by higher-priority rules).
+    Upward,
+    /// The rule fires, but the rules below decide identically.
+    Downward,
+}
+
+/// The redundancy classification of every rule in a policy, from
+/// [`analyze_redundancy`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedundancyReport {
+    /// `(rule index, kind)` for each redundant rule, ascending by index.
+    ///
+    /// Classification treats each rule in the context of the *original*
+    /// policy; removing several "redundant" rules at once is not always
+    /// sound (two identical rules can each be redundant given the other),
+    /// which is why [`remove_redundant_rules`] re-analyses after every
+    /// removal.
+    pub redundant: Vec<(usize, RedundancyKind)>,
+}
+
+/// The effective portion of rule `index`: disjoint boxes of packets that
+/// reach the rule (match it, and no higher-priority rule).
+pub fn effective_boxes(fw: &Firewall, index: usize) -> Vec<Predicate> {
+    let mut boxes = vec![fw.rules()[index].predicate().clone()];
+    for earlier in &fw.rules()[..index] {
+        boxes = subtract_all(boxes, earlier.predicate());
+        if boxes.is_empty() {
+            break;
+        }
+    }
+    boxes
+}
+
+/// Whether rule `index` is **upward redundant**: no packet reaches it.
+pub fn is_upward_redundant(fw: &Firewall, index: usize) -> bool {
+    effective_boxes(fw, index).is_empty()
+}
+
+/// Whether rule `index` is redundant (upward or downward), i.e. whether
+/// removing it preserves the policy's semantics.
+pub fn is_redundant(fw: &Firewall, index: usize) -> Option<RedundancyKind> {
+    let boxes = effective_boxes(fw, index);
+    if boxes.is_empty() {
+        return Some(RedundancyKind::Upward);
+    }
+    let decision = fw.rules()[index].decision();
+    let below = &fw.rules()[index + 1..];
+    for b in boxes {
+        if !residual_decides(below, &b, decision) {
+            return None;
+        }
+    }
+    Some(RedundancyKind::Downward)
+}
+
+/// Whether the rule sequence `rules` maps **every** packet of box `b` to
+/// `decision` under first-match semantics.
+fn residual_decides(rules: &[fw_model::Rule], b: &Predicate, decision: Decision) -> bool {
+    match rules.first() {
+        None => false, // uncovered packets exist: removal would break comprehensiveness
+        Some(r) => {
+            if let Some(hit) = b.intersect(r.predicate()) {
+                if r.decision() != decision {
+                    return false;
+                }
+                // The matched part is settled; recurse on the remainder.
+                let _ = hit;
+                subtract(b, r.predicate())
+                    .iter()
+                    .all(|rest| residual_decides(&rules[1..], rest, decision))
+            } else {
+                residual_decides(&rules[1..], b, decision)
+            }
+        }
+    }
+}
+
+/// Classifies every rule of `fw` as redundant or essential.
+pub fn analyze_redundancy(fw: &Firewall) -> RedundancyReport {
+    let redundant = (0..fw.len())
+        .filter_map(|i| is_redundant(fw, i).map(|k| (i, k)))
+        .collect();
+    RedundancyReport { redundant }
+}
+
+/// Removes redundant rules until none remain, preserving semantics exactly
+/// (§6.2, Step 2: "a rule is redundant if and only if removing the rule
+/// does not change the semantics of the firewall").
+///
+/// Rules are re-analysed after each removal, since redundancy of one rule
+/// can depend on the presence of another.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] if the firewall would become empty (cannot
+/// happen for comprehensive inputs).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_core::CoreError> {
+/// use fw_gen::remove_redundant_rules;
+/// use fw_model::{paper, Decision, Rule};
+///
+/// let fw = paper::team_a();
+/// // A rule shadowed by the catch-all below it is downward redundant:
+/// let bloated = fw
+///     .with_rule_inserted(2, Rule::catch_all(fw.schema(), Decision::Accept))
+///     .map_err(fw_core::CoreError::from)?;
+/// let compact = remove_redundant_rules(&bloated)?;
+/// assert!(compact.len() < bloated.len());
+/// assert!(fw_core::equivalent(&compact, &bloated)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn remove_redundant_rules(fw: &Firewall) -> Result<Firewall, CoreError> {
+    let mut current = fw.clone();
+    loop {
+        // Prefer removing later rules first: their removal never changes
+        // which packets reach earlier rules, keeping passes cheap.
+        let found = (0..current.len())
+            .rev()
+            .find_map(|i| is_redundant(&current, i).map(|_| i));
+        match found {
+            Some(i) if current.len() > 1 => {
+                current = current.with_rule_removed(i)?;
+            }
+            _ => return Ok(current),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, FieldDef, Rule, Schema};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn fw(text: &str) -> Firewall {
+        Firewall::parse(tiny_schema(), text).unwrap()
+    }
+
+    #[test]
+    fn effective_boxes_shrink_under_shadowing() {
+        let f = fw("a=0-3 -> accept\na=0-5 -> discard\n* -> accept\n");
+        // Rule 1's effective portion is a in 4..=5 only.
+        let boxes = effective_boxes(&f, 1);
+        assert!(!boxes.is_empty());
+        for b in &boxes {
+            assert!(b.set(fw_model::FieldId(0)).contains(4));
+            assert!(!b.set(fw_model::FieldId(0)).contains(3));
+        }
+    }
+
+    #[test]
+    fn upward_redundant_rule_detected() {
+        let f = fw("a=0-5 -> accept\na=2-4 -> discard\n* -> discard\n");
+        assert_eq!(is_redundant(&f, 1), Some(RedundancyKind::Upward));
+        assert!(is_upward_redundant(&f, 1));
+        assert!(!is_upward_redundant(&f, 0));
+    }
+
+    #[test]
+    fn downward_redundant_rule_detected() {
+        let f = fw("a=0-3 -> accept\n* -> accept\n");
+        assert_eq!(is_redundant(&f, 0), Some(RedundancyKind::Downward));
+        // But a conflicting decision below keeps the rule essential.
+        let g = fw("a=0-3 -> accept\n* -> discard\n");
+        assert_eq!(is_redundant(&g, 0), None);
+    }
+
+    #[test]
+    fn partial_shadowing_is_not_redundant() {
+        // Rule 1 still decides a in 4..=5 differently from the catch-all.
+        let f = fw("a=0-3 -> accept\na=0-5 -> discard\n* -> accept\n");
+        assert_eq!(is_redundant(&f, 1), None);
+    }
+
+    #[test]
+    fn removal_preserves_semantics() {
+        let f = fw("a=0-5 -> accept\n\
+             a=2-4 -> discard\n\
+             b=0-7 -> accept\n\
+             a=6-7 -> accept\n\
+             * -> accept\n");
+        let compact = remove_redundant_rules(&f).unwrap();
+        assert!(fw_core::equivalent(&f, &compact).unwrap());
+        assert!(compact.len() < f.len());
+        // No redundancy remains.
+        assert!(analyze_redundancy(&compact).redundant.is_empty());
+    }
+
+    #[test]
+    fn essential_rules_survive() {
+        let f = fw("a=0-3 -> accept\na=4-7, b=0-3 -> discard\n* -> accept-log\n");
+        let compact = remove_redundant_rules(&f).unwrap();
+        assert_eq!(compact.len(), 3);
+        assert_eq!(&f, &compact);
+    }
+
+    #[test]
+    fn duplicate_rules_collapse_to_one() {
+        let f = fw("a=0-3 -> discard\na=0-3 -> discard\na=0-3 -> discard\n* -> accept\n");
+        let compact = remove_redundant_rules(&f).unwrap();
+        assert_eq!(compact.len(), 2);
+        assert!(fw_core::equivalent(&f, &compact).unwrap());
+    }
+
+    #[test]
+    fn last_rule_can_be_removed_when_shadowed() {
+        // The catch-all never fires because earlier rules jointly cover
+        // the space.
+        let f = fw("a=0-3 -> accept\na=4-7 -> discard\n* -> accept\n");
+        assert_eq!(is_redundant(&f, 2), Some(RedundancyKind::Upward));
+        let compact = remove_redundant_rules(&f).unwrap();
+        assert_eq!(compact.len(), 2);
+        assert!(fw_core::equivalent(&f, &compact).unwrap());
+    }
+
+    #[test]
+    fn paper_examples_are_already_compact() {
+        for f in [paper::team_a(), paper::team_b()] {
+            let compact = remove_redundant_rules(&f).unwrap();
+            assert_eq!(compact.len(), f.len(), "paper tables carry no redundancy");
+        }
+    }
+
+    #[test]
+    fn report_classifies_kinds() {
+        let f = fw("a=0-5 -> accept\n\
+             a=2-4 -> discard\n\
+             a=6-7 -> accept\n\
+             * -> accept\n");
+        let report = analyze_redundancy(&f);
+        // Rule 1 upward (shadowed by rule 0); rule 2 downward (catch-all
+        // agrees); the catch-all itself is *not* redundant because packets
+        // with a=6..7 fall through to it once rule 2 is gone — but in the
+        // original context rule 3 only sees a in 6..=7 after rules 0 and 2,
+        // wait: rules 0 and 2 cover everything, so rule 3 is upward
+        // redundant in the original context too.
+        assert!(report.redundant.contains(&(1, RedundancyKind::Upward)));
+        assert!(report.redundant.iter().any(|&(i, _)| i == 2 || i == 3));
+    }
+
+    #[test]
+    fn insert_then_compact_matches_paper_method_2_shape() {
+        // §6.2: corrections prepended to Team A, then compacted.
+        let base = paper::team_a();
+        let correction = Rule::new(
+            fw_model::Predicate::any(base.schema()),
+            fw_model::Decision::Accept,
+        );
+        let stacked = base.with_rule_inserted(0, correction).unwrap();
+        let compact = remove_redundant_rules(&stacked).unwrap();
+        assert!(fw_core::equivalent(&stacked, &compact).unwrap());
+        // Everything below the blanket accept is redundant.
+        assert_eq!(compact.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// The action a firewall takes for a packet.
+///
+/// The paper's running example uses only `accept`/`discard`, but the method
+/// "can support any number of decisions" (§2); the logging variants common in
+/// real firewall software are therefore first-class here and exercised by the
+/// comparison, resolution and generation algorithms alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Decision {
+    /// Let the packet through.
+    Accept,
+    /// Drop the packet.
+    Discard,
+    /// Let the packet through and log it.
+    AcceptLog,
+    /// Drop the packet and log it.
+    DiscardLog,
+}
+
+impl Decision {
+    /// All decisions, in a fixed order (useful for exhaustive tests and
+    /// workload generators).
+    pub const ALL: [Decision; 4] = [
+        Decision::Accept,
+        Decision::Discard,
+        Decision::AcceptLog,
+        Decision::DiscardLog,
+    ];
+
+    /// Whether the packet ultimately passes (ignoring the logging option).
+    pub fn permits(self) -> bool {
+        matches!(self, Decision::Accept | Decision::AcceptLog)
+    }
+
+    /// Whether the decision carries the logging option.
+    pub fn logs(self) -> bool {
+        matches!(self, Decision::AcceptLog | Decision::DiscardLog)
+    }
+
+    /// The opposite pass/drop decision, preserving the logging option.
+    pub fn inverted(self) -> Decision {
+        match self {
+            Decision::Accept => Decision::Discard,
+            Decision::Discard => Decision::Accept,
+            Decision::AcceptLog => Decision::DiscardLog,
+            Decision::DiscardLog => Decision::AcceptLog,
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Decision::Accept => "accept",
+            Decision::Discard => "discard",
+            Decision::AcceptLog => "accept-log",
+            Decision::DiscardLog => "discard-log",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Decision {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "accept" | "a" | "permit" => Ok(Decision::Accept),
+            "discard" | "d" | "deny" | "drop" => Ok(Decision::Discard),
+            "accept-log" | "accept_log" => Ok(Decision::AcceptLog),
+            "discard-log" | "discard_log" => Ok(Decision::DiscardLog),
+            other => Err(ModelError::Parse {
+                line: 0,
+                message: format!("unknown decision `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_display_parse() {
+        for d in Decision::ALL {
+            assert_eq!(d.to_string().parse::<Decision>().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("a".parse::<Decision>().unwrap(), Decision::Accept);
+        assert_eq!("deny".parse::<Decision>().unwrap(), Decision::Discard);
+        assert_eq!("drop".parse::<Decision>().unwrap(), Decision::Discard);
+        assert!("reject".parse::<Decision>().is_err());
+    }
+
+    #[test]
+    fn semantics_helpers() {
+        assert!(Decision::Accept.permits());
+        assert!(Decision::AcceptLog.permits());
+        assert!(!Decision::Discard.permits());
+        assert!(Decision::DiscardLog.logs());
+        assert!(!Decision::Accept.logs());
+    }
+
+    #[test]
+    fn inversion_is_involutive_and_keeps_logging() {
+        for d in Decision::ALL {
+            assert_eq!(d.inverted().inverted(), d);
+            assert_eq!(d.inverted().logs(), d.logs());
+            assert_ne!(d.inverted().permits(), d.permits());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing model objects.
+///
+/// Every fallible constructor and the rule-DSL parser in this crate return
+/// `Result<_, ModelError>`. The variants carry enough context to pinpoint the
+/// offending rule, field or input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An interval was constructed with `lo > hi`.
+    EmptyInterval {
+        /// Requested lower bound.
+        lo: u64,
+        /// Requested upper bound.
+        hi: u64,
+    },
+    /// A field width outside the supported `1..=64` range was requested.
+    InvalidFieldBits {
+        /// Field name as given.
+        name: String,
+        /// Requested width in bits.
+        bits: u32,
+    },
+    /// Two fields in one schema share a name.
+    DuplicateFieldName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A schema with zero fields was requested.
+    EmptySchema,
+    /// A field name was not found in the schema.
+    UnknownField {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A packet, predicate or rule has a different number of fields than the
+    /// schema.
+    ArityMismatch {
+        /// Number of fields the schema defines.
+        expected: usize,
+        /// Number of fields actually supplied.
+        found: usize,
+    },
+    /// A value or interval lies outside its field's domain.
+    OutOfDomain {
+        /// Field name.
+        field: String,
+        /// Offending value (for intervals, the violating endpoint).
+        value: u64,
+        /// Inclusive domain maximum.
+        max: u64,
+    },
+    /// A predicate constrained some field to the empty set.
+    EmptyPredicateField {
+        /// Field name.
+        field: String,
+    },
+    /// A prefix length exceeds the field width.
+    InvalidPrefixLen {
+        /// Requested prefix length.
+        plen: u32,
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// The rule DSL failed to parse.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A firewall was empty or otherwise structurally unusable.
+    InvalidFirewall {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyInterval { lo, hi } => {
+                write!(f, "empty interval: lo {lo} exceeds hi {hi}")
+            }
+            ModelError::InvalidFieldBits { name, bits } => {
+                write!(f, "field `{name}` has unsupported width of {bits} bits")
+            }
+            ModelError::DuplicateFieldName { name } => {
+                write!(f, "duplicate field name `{name}` in schema")
+            }
+            ModelError::EmptySchema => write!(f, "schema must define at least one field"),
+            ModelError::UnknownField { name } => write!(f, "unknown field `{name}`"),
+            ModelError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} fields, found {found}")
+            }
+            ModelError::OutOfDomain { field, value, max } => {
+                write!(
+                    f,
+                    "value {value} outside domain [0, {max}] of field `{field}`"
+                )
+            }
+            ModelError::EmptyPredicateField { field } => {
+                write!(f, "predicate constrains field `{field}` to the empty set")
+            }
+            ModelError::InvalidPrefixLen { plen, bits } => {
+                write!(f, "prefix length {plen} exceeds field width {bits}")
+            }
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::InvalidFirewall { message } => write!(f, "invalid firewall: {message}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = ModelError::UnknownField {
+            name: "sport".into(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("unknown field"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = ModelError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

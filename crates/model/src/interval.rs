@@ -1,0 +1,296 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A non-empty, inclusive interval `[lo, hi]` of `u64` values.
+///
+/// Intervals are the atoms of the paper's model: every field domain is a
+/// finite interval of non-negative integers (§3.1), rule predicates constrain
+/// each field to intervals, and FDD edges are labelled with sets of
+/// intervals. An `Interval` is always non-empty (`lo <= hi`); the empty set
+/// is represented by an empty [`IntervalSet`](crate::IntervalSet).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_model::ModelError> {
+/// use fw_model::Interval;
+///
+/// let ports = Interval::new(1024, 65535)?;
+/// assert!(ports.contains(8080));
+/// assert_eq!(ports.count(), 64512);
+/// assert_eq!(ports.intersect(Interval::new(0, 2000)?), Interval::new(1024, 2000).ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyInterval`] if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self, ModelError> {
+        if lo > hi {
+            Err(ModelError::EmptyInterval { lo, hi })
+        } else {
+            Ok(Interval { lo, hi })
+        }
+    }
+
+    /// Creates the single-value interval `[v, v]`.
+    pub fn point(v: u64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The inclusive lower bound.
+    pub fn lo(self) -> u64 {
+        self.lo
+    }
+
+    /// The inclusive upper bound.
+    pub fn hi(self) -> u64 {
+        self.hi
+    }
+
+    /// Number of values in the interval.
+    ///
+    /// Returned as `u128` because the full 64-bit domain `[0, u64::MAX]`
+    /// contains `2^64` values, which overflows `u64`.
+    pub fn count(self) -> u128 {
+        u128::from(self.hi) - u128::from(self.lo) + 1
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `self` contains every value of `other`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share at least one value.
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether the two intervals are disjoint but touch (e.g. `[0,4]` and
+    /// `[5,9]`), so that their union is a single interval.
+    pub fn is_adjacent(self, other: Interval) -> bool {
+        (self.hi < u64::MAX && self.hi + 1 == other.lo)
+            || (other.hi < u64::MAX && other.hi + 1 == self.lo)
+    }
+
+    /// The common part of two intervals, or `None` if they are disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// The union of two intervals if it is itself an interval (they overlap
+    /// or are adjacent), otherwise `None`.
+    pub fn merge(self, other: Interval) -> Option<Interval> {
+        if self.overlaps(other) || self.is_adjacent(other) {
+            Some(Interval {
+                lo: self.lo.min(other.lo),
+                hi: self.hi.max(other.hi),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// `self` minus `other`, as zero, one or two residual intervals.
+    ///
+    /// The result preserves order: a left residue (below `other`) precedes a
+    /// right residue (above `other`).
+    pub fn subtract(self, other: Interval) -> SubtractResult {
+        match self.intersect(other) {
+            None => SubtractResult::One(self),
+            Some(cut) => {
+                let left = if self.lo < cut.lo {
+                    Some(Interval {
+                        lo: self.lo,
+                        hi: cut.lo - 1,
+                    })
+                } else {
+                    None
+                };
+                let right = if cut.hi < self.hi {
+                    Some(Interval {
+                        lo: cut.hi + 1,
+                        hi: self.hi,
+                    })
+                } else {
+                    None
+                };
+                match (left, right) {
+                    (None, None) => SubtractResult::Empty,
+                    (Some(a), None) | (None, Some(a)) => SubtractResult::One(a),
+                    (Some(a), Some(b)) => SubtractResult::Two(a, b),
+                }
+            }
+        }
+    }
+
+    /// Splits the interval at `mid`, returning `([lo, mid], [mid+1, hi])`.
+    ///
+    /// Returns `None` unless `lo <= mid < hi` (both halves must be
+    /// non-empty). This is the primitive behind the paper's *edge splitting*
+    /// operation (§4).
+    pub fn split_at(self, mid: u64) -> Option<(Interval, Interval)> {
+        if self.lo <= mid && mid < self.hi {
+            Some((
+                Interval {
+                    lo: self.lo,
+                    hi: mid,
+                },
+                Interval {
+                    lo: mid + 1,
+                    hi: self.hi,
+                },
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// Result of [`Interval::subtract`]: zero, one, or two residual intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubtractResult {
+    /// Nothing remains: `other` covered all of `self`.
+    Empty,
+    /// One residual interval remains.
+    One(Interval),
+    /// Two residual intervals remain, in ascending order.
+    Two(Interval, Interval),
+}
+
+impl SubtractResult {
+    /// Iterates the residual intervals in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Interval> {
+        let (a, b) = match self {
+            SubtractResult::Empty => (None, None),
+            SubtractResult::One(x) => (Some(x), None),
+            SubtractResult::Two(x, y) => (Some(x), Some(y)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+impl From<u64> for Interval {
+    fn from(v: u64) -> Self {
+        Interval::point(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted_bounds() {
+        assert_eq!(
+            Interval::new(5, 4),
+            Err(ModelError::EmptyInterval { lo: 5, hi: 4 })
+        );
+    }
+
+    #[test]
+    fn point_and_contains() {
+        let p = Interval::point(7);
+        assert!(p.contains(7));
+        assert!(!p.contains(6));
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn count_of_full_u64_domain() {
+        assert_eq!(iv(0, u64::MAX).count(), 1u128 << 64);
+    }
+
+    #[test]
+    fn intersect_cases() {
+        assert_eq!(iv(0, 10).intersect(iv(5, 20)), Some(iv(5, 10)));
+        assert_eq!(iv(0, 4).intersect(iv(5, 9)), None);
+        assert_eq!(iv(3, 3).intersect(iv(0, 10)), Some(iv(3, 3)));
+    }
+
+    #[test]
+    fn merge_overlapping_and_adjacent() {
+        assert_eq!(iv(0, 5).merge(iv(3, 9)), Some(iv(0, 9)));
+        assert_eq!(iv(0, 4).merge(iv(5, 9)), Some(iv(0, 9)));
+        assert_eq!(iv(0, 3).merge(iv(5, 9)), None);
+    }
+
+    #[test]
+    fn adjacency_at_u64_max_does_not_overflow() {
+        let top = iv(u64::MAX, u64::MAX);
+        let below = iv(0, u64::MAX - 1);
+        assert!(top.is_adjacent(below));
+        assert!(below.is_adjacent(top));
+        assert_eq!(top.merge(below), Some(iv(0, u64::MAX)));
+    }
+
+    #[test]
+    fn subtract_middle_yields_two() {
+        assert_eq!(
+            iv(0, 10).subtract(iv(4, 6)),
+            SubtractResult::Two(iv(0, 3), iv(7, 10))
+        );
+    }
+
+    #[test]
+    fn subtract_edges_and_disjoint() {
+        assert_eq!(iv(0, 10).subtract(iv(0, 3)), SubtractResult::One(iv(4, 10)));
+        assert_eq!(iv(0, 10).subtract(iv(8, 15)), SubtractResult::One(iv(0, 7)));
+        assert_eq!(
+            iv(0, 10).subtract(iv(20, 30)),
+            SubtractResult::One(iv(0, 10))
+        );
+        assert_eq!(iv(3, 5).subtract(iv(0, 9)), SubtractResult::Empty);
+    }
+
+    #[test]
+    fn split_at_bounds() {
+        assert_eq!(iv(2, 9).split_at(4), Some((iv(2, 4), iv(5, 9))));
+        assert_eq!(iv(2, 9).split_at(9), None);
+        assert_eq!(iv(2, 9).split_at(1), None);
+        assert_eq!(iv(5, 5).split_at(5), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(iv(3, 3).to_string(), "3");
+        assert_eq!(iv(3, 9).to_string(), "3-9");
+    }
+}

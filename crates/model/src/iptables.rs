@@ -1,0 +1,480 @@
+//! Import/export for a practical subset of `iptables` rule syntax, over
+//! [`Schema::tcp_ip`].
+//!
+//! The paper's workflow starts from policies administrators already have;
+//! this adapter turns `iptables-save`-style append lines into the model
+//! (and back), so real rule sets can be compared, diffed and linted
+//! directly.
+//!
+//! # Supported syntax
+//!
+//! ```text
+//! -A CHAIN [-s ADDR[/PLEN]] [-d ADDR[/PLEN]] [-p tcp|udp|icmp]
+//!          [--sport PORT[:PORT]] [--dport PORT[:PORT]]
+//!          [-m multiport --dports P1,P2,…] [-m multiport --sports P1,P2,…]
+//!          -j ACCEPT|DROP|REJECT|LOG-ACCEPT|LOG-DROP
+//! ```
+//!
+//! Unsupported constructs (negation `!`, interfaces, connection tracking,
+//! user chains as targets) are reported as parse errors rather than
+//! silently dropped — a policy analyzer must not quietly change the policy
+//! it analyzes.
+
+use crate::prefix::parse_ipv4;
+use crate::{
+    Decision, FieldId, Firewall, Interval, IntervalSet, ModelError, Predicate, Prefix, Rule, Schema,
+};
+
+fn err(line: usize, message: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an `iptables`-style rule list into a [`Firewall`] over
+/// [`Schema::tcp_ip`]. Lines not starting with `-A` (comments, `*filter`
+/// headers, `:CHAIN` policy lines, `COMMIT`) are skipped, matching
+/// `iptables-save` output.
+///
+/// A chain policy line like `:INPUT DROP [0:0]` contributes the trailing
+/// catch-all, so a comprehensive firewall results from standard
+/// `iptables-save` dumps; if no policy line is present, the caller should
+/// append a default.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] (with line number) for unsupported or
+/// malformed constructs.
+pub fn parse(text: &str) -> Result<Firewall, ModelError> {
+    let schema = Schema::tcp_ip();
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut default: Option<Decision> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('*') || line == "COMMIT" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            // `:CHAIN POLICY [pkts:bytes]`
+            let mut parts = rest.split_whitespace();
+            let _chain = parts.next();
+            if let Some(policy) = parts.next() {
+                default = Some(match policy {
+                    "ACCEPT" => Decision::Accept,
+                    "DROP" | "REJECT" => Decision::Discard,
+                    "-" => continue, // user chain, no policy
+                    other => return Err(err(line_no, format!("unknown chain policy `{other}`"))),
+                });
+            }
+            continue;
+        }
+        if line.starts_with("-A") || line.starts_with("--append") {
+            rules.push(parse_append(&schema, line, line_no)?);
+            continue;
+        }
+        return Err(err(
+            line_no,
+            format!("unsupported iptables directive `{line}`"),
+        ));
+    }
+    if let Some(d) = default {
+        rules.push(Rule::catch_all(&schema, d));
+    }
+    Firewall::new(schema, rules)
+}
+
+fn parse_append(schema: &Schema, line: &str, line_no: usize) -> Result<Rule, ModelError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let mut pred = Predicate::any(schema);
+    let mut decision: Option<Decision> = None;
+    let mut i = 0usize;
+    let mut in_multiport = false;
+    while i < tokens.len() {
+        let tok = tokens[i];
+        let take_arg = |i: &mut usize| -> Result<&str, ModelError> {
+            *i += 1;
+            tokens
+                .get(*i)
+                .copied()
+                .ok_or_else(|| err(line_no, format!("`{tok}` expects an argument")))
+        };
+        match tok {
+            "-A" | "--append" => {
+                let _chain = take_arg(&mut i)?;
+            }
+            "!" => return Err(err(line_no, "negation (`!`) is not supported")),
+            "-s" | "--source" => {
+                let set = parse_addr(take_arg(&mut i)?, line_no)?;
+                pred = pred.with_field(FieldId(0), set)?;
+            }
+            "-d" | "--destination" => {
+                let set = parse_addr(take_arg(&mut i)?, line_no)?;
+                pred = pred.with_field(FieldId(1), set)?;
+            }
+            "-p" | "--protocol" => {
+                let proto = match take_arg(&mut i)? {
+                    "tcp" => 6u64,
+                    "udp" => 17,
+                    "icmp" => 1,
+                    "all" => {
+                        i += 1;
+                        continue;
+                    }
+                    other => {
+                        let n: u64 = other
+                            .parse()
+                            .map_err(|_| err(line_no, format!("unknown protocol `{other}`")))?;
+                        if n > 255 {
+                            return Err(err(line_no, format!("protocol {n} exceeds 255")));
+                        }
+                        n
+                    }
+                };
+                pred = pred.with_field(FieldId(4), IntervalSet::from_value(proto))?;
+            }
+            "--sport" | "--source-port" => {
+                let set = parse_ports(take_arg(&mut i)?, line_no)?;
+                pred = pred.with_field(FieldId(2), set)?;
+            }
+            "--dport" | "--destination-port" => {
+                let set = parse_ports(take_arg(&mut i)?, line_no)?;
+                pred = pred.with_field(FieldId(3), set)?;
+            }
+            "-m" | "--match" => {
+                let module = take_arg(&mut i)?;
+                if module != "multiport" {
+                    return Err(err(line_no, format!("unsupported match module `{module}`")));
+                }
+                in_multiport = true;
+            }
+            "--dports" | "--sports" if in_multiport => {
+                let field = if tok == "--dports" {
+                    FieldId(3)
+                } else {
+                    FieldId(2)
+                };
+                let set = parse_port_list(take_arg(&mut i)?, line_no)?;
+                pred = pred.with_field(field, set)?;
+            }
+            "-j" | "--jump" => {
+                decision = Some(match take_arg(&mut i)? {
+                    "ACCEPT" => Decision::Accept,
+                    "DROP" | "REJECT" => Decision::Discard,
+                    "LOG-ACCEPT" => Decision::AcceptLog,
+                    "LOG-DROP" => Decision::DiscardLog,
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("unsupported target `{other}` (user chains not supported)"),
+                        ))
+                    }
+                });
+            }
+            "-i" | "-o" | "--in-interface" | "--out-interface" => {
+                return Err(err(
+                    line_no,
+                    format!("`{tok}` is not representable in the five-tuple schema"),
+                ));
+            }
+            other => return Err(err(line_no, format!("unsupported option `{other}`"))),
+        }
+        i += 1;
+    }
+    let decision = decision.ok_or_else(|| err(line_no, "rule has no `-j` target"))?;
+    Ok(Rule::new(pred, decision))
+}
+
+fn parse_addr(text: &str, line_no: usize) -> Result<IntervalSet, ModelError> {
+    let (base, plen) = match text.split_once('/') {
+        Some((b, p)) => {
+            let plen: u32 = p
+                .parse()
+                .map_err(|_| err(line_no, format!("invalid prefix length `{p}`")))?;
+            (b, plen)
+        }
+        None => (text, 32),
+    };
+    let v = parse_ipv4(base).map_err(|e| match e {
+        ModelError::Parse { message, .. } => err(line_no, message),
+        other => other,
+    })?;
+    Ok(IntervalSet::from_interval(
+        Prefix::new(v, plen, 32)?.interval(),
+    ))
+}
+
+fn parse_ports(text: &str, line_no: usize) -> Result<IntervalSet, ModelError> {
+    // PORT or PORT:PORT (iptables range syntax uses a colon).
+    let (lo, hi) = match text.split_once(':') {
+        Some((a, b)) => (parse_port(a, line_no)?, parse_port(b, line_no)?),
+        None => {
+            let p = parse_port(text, line_no)?;
+            (p, p)
+        }
+    };
+    if lo > hi {
+        return Err(err(line_no, format!("inverted port range `{text}`")));
+    }
+    Ok(IntervalSet::from_interval(
+        Interval::new(lo, hi).expect("checked order"),
+    ))
+}
+
+fn parse_port_list(text: &str, line_no: usize) -> Result<IntervalSet, ModelError> {
+    let mut intervals = Vec::new();
+    for part in text.split(',') {
+        let set = parse_ports(part, line_no)?;
+        intervals.extend(set.iter().copied());
+    }
+    Ok(IntervalSet::from_intervals(intervals))
+}
+
+fn parse_port(text: &str, line_no: usize) -> Result<u64, ModelError> {
+    let p: u64 = text
+        .parse()
+        .map_err(|_| err(line_no, format!("invalid port `{text}`")))?;
+    if p > 65535 {
+        return Err(err(line_no, format!("port {p} exceeds 65535")));
+    }
+    Ok(p)
+}
+
+/// Exports a firewall over [`Schema::tcp_ip`] as `iptables -A` lines into
+/// `chain`, with a final `:CHAIN POLICY` line when the last rule is a
+/// catch-all.
+///
+/// General rules are lowered to simple rules, and each IP interval to its
+/// covering prefixes (§7.1), so one model rule may emit several lines —
+/// semantics are preserved exactly.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidFirewall`] if the firewall's schema is not
+/// [`Schema::tcp_ip`], or if a decision has no iptables counterpart.
+pub fn export(fw: &Firewall, chain: &str) -> Result<String, ModelError> {
+    use std::fmt::Write as _;
+    if fw.schema() != &Schema::tcp_ip() {
+        return Err(ModelError::InvalidFirewall {
+            message: "iptables export requires the tcp_ip schema".to_owned(),
+        });
+    }
+    let mut out = String::new();
+    let rules = fw.rules();
+    let (body, default) = match rules.last() {
+        Some(last) if last.predicate().is_any(fw.schema()) => {
+            (&rules[..rules.len() - 1], Some(last.decision()))
+        }
+        _ => (rules, None),
+    };
+    if let Some(d) = default {
+        let policy = match d {
+            Decision::Accept | Decision::AcceptLog => "ACCEPT",
+            Decision::Discard | Decision::DiscardLog => "DROP",
+        };
+        let _ = writeln!(out, ":{chain} {policy} [0:0]");
+    }
+    for rule in body {
+        for simple in rule.to_simple_rules() {
+            export_simple(&mut out, chain, &simple)?;
+        }
+    }
+    Ok(out)
+}
+
+fn export_simple(out: &mut String, chain: &str, rule: &Rule) -> Result<(), ModelError> {
+    use std::fmt::Write as _;
+    let schema = Schema::tcp_ip();
+    let pred = rule.predicate();
+    // IP fields expand to prefixes; port fields to ranges; proto must be a
+    // single value.
+    let src = pred
+        .set(FieldId(0))
+        .as_single_interval()
+        .expect("simple rule");
+    let dst = pred
+        .set(FieldId(1))
+        .as_single_interval()
+        .expect("simple rule");
+    let target = match rule.decision() {
+        Decision::Accept => "ACCEPT",
+        Decision::Discard => "DROP",
+        Decision::AcceptLog => "LOG-ACCEPT",
+        Decision::DiscardLog => "LOG-DROP",
+    };
+    let src_prefixes = crate::prefix::interval_to_prefixes(src, 32)?;
+    let dst_prefixes = crate::prefix::interval_to_prefixes(dst, 32)?;
+    for sp in &src_prefixes {
+        for dp in &dst_prefixes {
+            let _ = write!(out, "-A {chain}");
+            if sp.plen() != 0 {
+                let _ = write!(out, " -s {sp}");
+            }
+            if dp.plen() != 0 {
+                let _ = write!(out, " -d {dp}");
+            }
+            let proto = pred.set(FieldId(4));
+            if !proto.covers(schema.field(FieldId(4)).domain()) {
+                let v = proto
+                    .as_single_interval()
+                    .filter(|iv| iv.lo() == iv.hi())
+                    .ok_or_else(|| ModelError::InvalidFirewall {
+                        message: "iptables export needs a single protocol value".to_owned(),
+                    })?
+                    .lo();
+                let name = match v {
+                    6 => "tcp".to_owned(),
+                    17 => "udp".to_owned(),
+                    1 => "icmp".to_owned(),
+                    other => other.to_string(),
+                };
+                let _ = write!(out, " -p {name}");
+            }
+            for (flag, id) in [("--sport", FieldId(2)), ("--dport", FieldId(3))] {
+                let set = pred.set(id);
+                if set.covers(schema.field(id).domain()) {
+                    continue;
+                }
+                let iv = set.as_single_interval().expect("simple rule");
+                if iv.lo() == iv.hi() {
+                    let _ = write!(out, " {flag} {}", iv.lo());
+                } else {
+                    let _ = write!(out, " {flag} {}:{}", iv.lo(), iv.hi());
+                }
+            }
+            let _ = writeln!(out, " -j {target}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    const SAMPLE: &str = "\
+# sample iptables-save dump
+*filter
+:INPUT DROP [0:0]
+-A INPUT -s 10.0.0.0/8 -d 192.168.0.1 -p tcp --dport 25 -j ACCEPT
+-A INPUT -p tcp -m multiport --dports 80,443 -j ACCEPT
+-A INPUT -s 203.0.113.7 -j DROP
+-A INPUT -p udp --sport 1024:65535 --dport 53 -j ACCEPT
+COMMIT
+";
+
+    #[test]
+    fn parses_a_save_dump() {
+        let fw = parse(SAMPLE).unwrap();
+        assert_eq!(fw.len(), 5); // 4 rules + chain-policy catch-all
+        assert!(fw.is_comprehensive_syntactically());
+        // SMTP from 10/8 accepted.
+        let p = Packet::new(vec![0x0A01_0203, 0xC0A8_0001, 40000, 25, 6]);
+        assert_eq!(fw.decision_for(&p), Some(Decision::Accept));
+        // HTTPS from anywhere accepted (multiport).
+        let p = Packet::new(vec![1, 2, 40000, 443, 6]);
+        assert_eq!(fw.decision_for(&p), Some(Decision::Accept));
+        // DNS over UDP from an ephemeral port accepted.
+        let p = Packet::new(vec![9, 9, 2048, 53, 17]);
+        assert_eq!(fw.decision_for(&p), Some(Decision::Accept));
+        // Default drop.
+        let p = Packet::new(vec![9, 9, 2048, 53, 6]);
+        assert_eq!(fw.decision_for(&p), Some(Decision::Discard));
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let fw = parse(SAMPLE).unwrap();
+        let exported = export(&fw, "INPUT").unwrap();
+        let back = parse(&exported).unwrap();
+        // Sample the space and compare decisions.
+        for seed in 0..500u64 {
+            let r = |k: u64, m: u64| {
+                (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(k as u32))
+                    % (m + 1)
+            };
+            let p = Packet::new(vec![
+                r(3, u32::MAX as u64),
+                r(11, u32::MAX as u64),
+                r(19, 65535),
+                r(29, 65535),
+                r(37, 255),
+            ]);
+            assert_eq!(fw.decision_for(&p), back.decision_for(&p), "at {p}");
+        }
+        // Plus the witnesses of every original rule.
+        for p in fw.witnesses() {
+            assert_eq!(fw.decision_for(&p), back.decision_for(&p), "at witness {p}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        for bad in [
+            "-A INPUT ! -s 10.0.0.0/8 -j DROP",
+            "-A INPUT -i eth0 -j ACCEPT",
+            "-A INPUT -m state --state ESTABLISHED -j ACCEPT",
+            "-A INPUT -j MYCHAIN",
+            "-A INPUT -s 10.0.0.0/8",
+            "-F INPUT",
+            "-A INPUT -p carrier-pigeon -j DROP",
+            "-A INPUT --dport 99999 -j DROP",
+            "-A INPUT --dport 90:80 -j DROP",
+        ] {
+            assert!(parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let text = ":INPUT ACCEPT [0:0]\n-A INPUT -j FROB\n";
+        match parse(text) {
+            Err(ModelError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_rejects_wrong_schema() {
+        let fw = crate::paper::team_a();
+        assert!(matches!(
+            export(&fw, "INPUT"),
+            Err(ModelError::InvalidFirewall { .. })
+        ));
+    }
+
+    #[test]
+    fn export_expands_non_prefix_ranges() {
+        // A rule whose source is not prefix-aligned must expand to
+        // multiple -A lines covering it exactly.
+        let schema = Schema::tcp_ip();
+        let fw = Firewall::new(
+            schema.clone(),
+            vec![
+                Rule::new(
+                    Predicate::any(&schema)
+                        .with_field(
+                            FieldId(0),
+                            IntervalSet::from_interval(Interval::new(1, 6).unwrap()),
+                        )
+                        .unwrap(),
+                    Decision::Discard,
+                ),
+                Rule::catch_all(&schema, Decision::Accept),
+            ],
+        )
+        .unwrap();
+        let text = export(&fw, "FWD").unwrap();
+        let lines = text.lines().filter(|l| l.starts_with("-A")).count();
+        assert!(lines >= 3, "range [1,6] needs >= 3 prefixes, got:\n{text}");
+        let back = parse(&text).unwrap();
+        for v in 0..10u64 {
+            let p = Packet::new(vec![v, 0, 0, 0, 0]);
+            assert_eq!(fw.decision_for(&p), back.decision_for(&p), "src={v}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FieldId, ModelError, Schema};
+
+/// A packet: one value per schema field, in schema order (§3.1's `d`-tuple).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_model::ModelError> {
+/// use fw_model::{Packet, Schema};
+///
+/// let schema = Schema::tcp_ip();
+/// let p = Packet::new(vec![0x0A00_0001, 0xC0A8_0001, 49152, 443, 6]);
+/// p.validate(&schema)?;
+/// assert_eq!(p.get(fw_model::FieldId(3)), Some(443));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    values: Vec<u64>,
+}
+
+impl Packet {
+    /// Creates a packet from field values in schema order.
+    pub fn new(values: Vec<u64>) -> Self {
+        Packet { values }
+    }
+
+    /// The value of field `id`, or `None` if out of range.
+    pub fn get(&self, id: FieldId) -> Option<u64> {
+        self.values.get(id.index()).copied()
+    }
+
+    /// The value of field `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: FieldId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// All field values in schema order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of fields in the packet.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the packet carries no fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Checks the packet against a schema: right arity, every value inside
+    /// its field's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] or [`ModelError::OutOfDomain`].
+    pub fn validate(&self, schema: &Schema) -> Result<(), ModelError> {
+        if self.values.len() != schema.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: schema.len(),
+                found: self.values.len(),
+            });
+        }
+        for (id, field) in schema.iter() {
+            let v = self.values[id.index()];
+            if v > field.max() {
+                return Err(ModelError::OutOfDomain {
+                    field: field.name().to_owned(),
+                    value: v,
+                    max: field.max(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<u64>> for Packet {
+    fn from(values: Vec<u64>) -> Self {
+        Packet::new(values)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_arity_and_domain() {
+        let schema = Schema::paper_example();
+        assert!(Packet::new(vec![0, 1, 2, 3, 1]).validate(&schema).is_ok());
+        assert!(matches!(
+            Packet::new(vec![0, 1, 2]).validate(&schema),
+            Err(ModelError::ArityMismatch {
+                expected: 5,
+                found: 3
+            })
+        ));
+        assert!(matches!(
+            Packet::new(vec![2, 1, 2, 3, 1]).validate(&schema),
+            Err(ModelError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Packet::new(vec![10, 20, 30]);
+        assert_eq!(p.get(FieldId(1)), Some(20));
+        assert_eq!(p.get(FieldId(9)), None);
+        assert_eq!(p.value(FieldId(2)), 30);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn display_tuple() {
+        assert_eq!(Packet::new(vec![1, 2, 3]).to_string(), "(1, 2, 3)");
+    }
+}

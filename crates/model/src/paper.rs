@@ -1,0 +1,78 @@
+//! The paper's running example (§2): the requirement specification, the two
+//! team firewalls of Tables 1 and 2, and the constants used throughout the
+//! worked examples and tests.
+//!
+//! The specification reads: *"The mail server with IP address 192.168.0.1
+//! can receive e-mail packets. The packets from an outside malicious domain
+//! 224.168.0.0/16 should be blocked. Other packets should be accepted and
+//! allowed to proceed."*
+
+use crate::{Firewall, Schema};
+
+/// IP of the mail server, 192.168.0.1 as an integer (the paper's `γ`).
+pub const MAIL_SERVER: u64 = 0xC0A8_0001;
+
+/// First address of the malicious domain 224.168.0.0/16 (the paper's `α`).
+pub const MALICIOUS_LO: u64 = 0xE0A8_0000;
+
+/// Last address of the malicious domain 224.168.0.0/16 (the paper's `β`).
+pub const MALICIOUS_HI: u64 = 0xE0A8_FFFF;
+
+/// SMTP port used by the example rules.
+pub const SMTP: u64 = 25;
+
+/// Protocol value for TCP in the simplified two-protocol example.
+pub const TCP: u64 = 0;
+
+/// Protocol value for UDP in the simplified two-protocol example.
+pub const UDP: u64 = 1;
+
+/// The paper's Table 1 firewall (Team A) over [`Schema::paper_example`]:
+///
+/// * `r1`: `iface=0 ∧ dst=192.168.0.1 ∧ dport=25 ∧ proto=TCP → accept`
+/// * `r2`: `iface=0 ∧ src ∈ 224.168.0.0/16 → discard`
+/// * `r3`: `* → accept`
+pub fn team_a() -> Firewall {
+    Firewall::parse(
+        Schema::paper_example(),
+        "iface=0, dst=192.168.0.1, dport=25, proto=0 -> accept\n\
+         iface=0, src=224.168.0.0/16 -> discard\n\
+         * -> accept\n",
+    )
+    .expect("static example parses")
+}
+
+/// The paper's Table 2 firewall (Team B) over [`Schema::paper_example`]:
+///
+/// * `r1`: `iface=0 ∧ src ∈ 224.168.0.0/16 → discard`
+/// * `r2`: `iface=0 ∧ dst=192.168.0.1 ∧ dport=25 ∧ proto=TCP → accept`
+/// * `r3`: `iface=0 ∧ dst=192.168.0.1 → discard`
+/// * `r4`: `* → accept`
+pub fn team_b() -> Firewall {
+    Firewall::parse(
+        Schema::paper_example(),
+        "iface=0, src=224.168.0.0/16 -> discard\n\
+         iface=0, dst=192.168.0.1, dport=25, proto=0 -> accept\n\
+         iface=0, dst=192.168.0.1 -> discard\n\
+         * -> accept\n",
+    )
+    .expect("static example parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_dotted_quads() {
+        assert_eq!(MAIL_SERVER, (192 << 24) | (168 << 16) | 1);
+        assert_eq!(MALICIOUS_LO, (224 << 24) | (168 << 16));
+        assert_eq!(MALICIOUS_HI, MALICIOUS_LO + 0xFFFF);
+    }
+
+    #[test]
+    fn table_sizes() {
+        assert_eq!(team_a().len(), 3);
+        assert_eq!(team_b().len(), 4);
+    }
+}

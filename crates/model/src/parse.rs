@@ -1,0 +1,309 @@
+//! A small human-readable rule DSL, mirroring how the paper presents rules
+//! (Tables 1–7): one rule per line, unconstrained fields elided, IP fields
+//! in dotted-quad or prefix notation.
+//!
+//! # Grammar
+//!
+//! ```text
+//! firewall   := (line '\n')*
+//! line       := comment | rule
+//! comment    := '#' ...
+//! rule       := predicate '->' decision
+//! predicate  := '*' | constraint (',' constraint)*
+//! constraint := field '=' valueset
+//! valueset   := value ('|' value)*
+//! value      := '*' | int | int '-' int | ipv4 | ipv4 '/' plen | ipv4 '-' ipv4
+//! decision   := 'accept' | 'discard' | 'accept-log' | 'discard-log' | aliases
+//! ```
+//!
+//! Whitespace around tokens is ignored. Fields may appear in any order; each
+//! at most once per rule. [`crate::Firewall::to_dsl`] emits this format, so
+//! policies round-trip through text.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), fw_model::ModelError> {
+//! use fw_model::{parse::parse_rules, Schema};
+//!
+//! let rules = parse_rules(
+//!     &Schema::tcp_ip(),
+//!     "# block some well-known bad ports
+//!      dport=135-139|445, proto=6 -> discard-log
+//!      * -> accept",
+//! )?;
+//! assert_eq!(rules.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::prefix::parse_ipv4;
+use crate::{
+    Decision, FieldId, Interval, IntervalSet, ModelError, Predicate, Prefix, Rule, Schema,
+};
+
+/// Parses a sequence of rules in the DSL, one per line; blank lines and
+/// `#`-comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] carrying the 1-based line number of the
+/// first offending line, or a validation error from predicate construction.
+pub fn parse_rules(schema: &Schema, text: &str) -> Result<Vec<Rule>, ModelError> {
+    let mut rules = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // `#` starts a comment, whether at line start or trailing a rule.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        rules.push(parse_rule_line(schema, line, line_no)?);
+    }
+    Ok(rules)
+}
+
+/// Parses a single rule in the DSL (no trailing newline).
+///
+/// # Errors
+///
+/// As for [`parse_rules`], with line number 1.
+pub fn parse_rule(schema: &Schema, line: &str) -> Result<Rule, ModelError> {
+    parse_rule_line(schema, line.trim(), 1)
+}
+
+fn err(line: usize, message: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_rule_line(schema: &Schema, line: &str, line_no: usize) -> Result<Rule, ModelError> {
+    let (pred_text, dec_text) = line
+        .rsplit_once("->")
+        .ok_or_else(|| err(line_no, "expected `predicate -> decision`"))?;
+    let decision: Decision = dec_text.trim().parse().map_err(|e: ModelError| match e {
+        ModelError::Parse { message, .. } => err(line_no, message),
+        other => other,
+    })?;
+    let predicate = parse_predicate(schema, pred_text.trim(), line_no)?;
+    Ok(Rule::new(predicate, decision))
+}
+
+fn parse_predicate(schema: &Schema, text: &str, line_no: usize) -> Result<Predicate, ModelError> {
+    if text == "*" {
+        return Ok(Predicate::any(schema));
+    }
+    if text.is_empty() {
+        return Err(err(
+            line_no,
+            "empty predicate; use `*` to match all packets",
+        ));
+    }
+    let mut pred = Predicate::any(schema);
+    let mut seen: Vec<FieldId> = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(err(line_no, "empty constraint between commas"));
+        }
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(line_no, format!("expected `field=value` in `{part}`")))?;
+        let name = name.trim();
+        let (id, field) = schema
+            .field_by_name(name)
+            .ok_or_else(|| err(line_no, format!("unknown field `{name}`")))?;
+        if seen.contains(&id) {
+            return Err(err(line_no, format!("field `{name}` constrained twice")));
+        }
+        seen.push(id);
+        let set = parse_value_set(value.trim(), field.bits(), line_no)?;
+        if let Some(max) = set.max_value() {
+            if max > field.max() {
+                return Err(ModelError::OutOfDomain {
+                    field: name.to_owned(),
+                    value: max,
+                    max: field.max(),
+                });
+            }
+        }
+        pred = pred.with_field(id, set)?;
+    }
+    Ok(pred)
+}
+
+fn parse_value_set(text: &str, bits: u32, line_no: usize) -> Result<IntervalSet, ModelError> {
+    let mut intervals = Vec::new();
+    for alt in text.split('|') {
+        let alt = alt.trim();
+        if alt.is_empty() {
+            return Err(err(line_no, "empty alternative between `|`"));
+        }
+        intervals.push(parse_value(alt, bits, line_no)?);
+    }
+    Ok(IntervalSet::from_intervals(intervals))
+}
+
+fn parse_value(text: &str, bits: u32, line_no: usize) -> Result<Interval, ModelError> {
+    if text == "*" {
+        let max = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        return Interval::new(0, max);
+    }
+    // Prefix notation `base/plen`, where base may be dotted-quad or integer.
+    if let Some((base, plen)) = text.split_once('/') {
+        let v = parse_scalar(base.trim(), line_no)?;
+        let plen: u32 = plen
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, format!("invalid prefix length `{plen}`")))?;
+        return Ok(Prefix::new(v, plen, bits)?.interval());
+    }
+    // Range `lo-hi` (dotted quads contain '.', so a '-' separating two
+    // dotted quads is unambiguous; plain integers contain no '-').
+    if let Some((lo, hi)) = text.split_once('-') {
+        let lo = parse_scalar(lo.trim(), line_no)?;
+        let hi = parse_scalar(hi.trim(), line_no)?;
+        return Interval::new(lo, hi);
+    }
+    let v = parse_scalar(text, line_no)?;
+    Ok(Interval::point(v))
+}
+
+fn parse_scalar(text: &str, line_no: usize) -> Result<u64, ModelError> {
+    if text.contains('.') {
+        parse_ipv4(text).map_err(|e| match e {
+            ModelError::Parse { message, .. } => err(line_no, message),
+            other => other,
+        })
+    } else {
+        text.parse::<u64>()
+            .map_err(|_| err(line_no, format!("invalid integer `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::paper_example()
+    }
+
+    #[test]
+    fn parses_star_rule() {
+        let r = parse_rule(&schema(), "* -> accept").unwrap();
+        assert!(r.predicate().is_any(&schema()));
+        assert_eq!(r.decision(), Decision::Accept);
+    }
+
+    #[test]
+    fn parses_fields_in_any_order() {
+        let a = parse_rule(&schema(), "dport=25, iface=0 -> discard").unwrap();
+        let b = parse_rule(&schema(), "iface=0, dport=25 -> discard").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_ip_forms() {
+        let r = parse_rule(&schema(), "src=224.168.0.0/16 -> discard").unwrap();
+        let s = r.predicate().set(FieldId(1));
+        assert_eq!(
+            s.as_single_interval().unwrap(),
+            Interval::new(0xE0A8_0000, 0xE0A8_FFFF).unwrap()
+        );
+
+        let r = parse_rule(&schema(), "src=10.0.0.1 -> accept").unwrap();
+        assert_eq!(
+            r.predicate().set(FieldId(1)),
+            &IntervalSet::from_value(0x0A00_0001)
+        );
+
+        let r = parse_rule(&schema(), "src=10.0.0.1-10.0.0.9 -> accept").unwrap();
+        assert_eq!(
+            r.predicate().set(FieldId(1)).as_single_interval().unwrap(),
+            Interval::new(0x0A00_0001, 0x0A00_0009).unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_unions_and_ranges() {
+        let r = parse_rule(&schema(), "dport=25|80|1024-2047 -> accept").unwrap();
+        let s = r.predicate().set(FieldId(3));
+        assert!(s.contains(25) && s.contains(80) && s.contains(1500));
+        assert!(!s.contains(26) && !s.contains(2048));
+        assert_eq!(s.run_count(), 3);
+    }
+
+    #[test]
+    fn parses_star_value_for_one_field() {
+        let r = parse_rule(&schema(), "dport=*, iface=1 -> accept").unwrap();
+        assert!(r
+            .predicate()
+            .set(FieldId(3))
+            .covers(Interval::new(0, 65535).unwrap()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "accept",                     // no arrow
+            "-> accept",                  // empty predicate
+            "iface -> accept",            // no '='
+            "iface=0 iface=1 -> accept",  // missing comma => bad value
+            "iface=0, iface=1 -> accept", // duplicate field
+            "nosuch=3 -> accept",         // unknown field
+            "iface=5 -> accept",          // out of domain
+            "dport=9-2 -> accept",        // inverted interval
+            "dport=| -> accept",          // empty alternative
+            "* -> reject",                // unknown decision
+            "src=1.2.3.4.5 -> accept",    // bad IP
+        ] {
+            assert!(parse_rule(&schema(), bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn line_numbers_reported() {
+        let text = "* -> accept\nwat\n";
+        match parse_rules(&schema(), text) {
+            Err(ModelError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let rules = parse_rules(
+            &schema(),
+            "\n# heading\n   \niface=0 -> discard\n# tail\n* -> accept\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn trailing_comments_stripped() {
+        let rules = parse_rules(
+            &schema(),
+            "iface=0 -> discard   # block inbound\n* -> accept# default\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].decision(), Decision::Accept);
+    }
+
+    #[test]
+    fn prefix_zero_over_integer_field() {
+        let r = parse_rule(&schema(), "dport=0/0 -> accept").unwrap();
+        assert!(r
+            .predicate()
+            .set(FieldId(3))
+            .covers(Interval::new(0, 65535).unwrap()));
+    }
+}

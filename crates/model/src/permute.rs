@@ -1,0 +1,205 @@
+//! Field-order permutation (paper §7.2).
+//!
+//! The shaping algorithm requires both FDDs to be *ordered the same way*.
+//! When two teams design ordered FDDs over different field orders, the
+//! paper's recipe is: generate a rule sequence from one diagram, then
+//! rebuild it as an FDD using the other diagram's order. The missing
+//! primitive is re-expressing a policy over a permuted schema — fields are
+//! identified by position, so rules, packets and schemas must be permuted
+//! together. Field order never changes a policy's *semantics* (a predicate
+//! is a conjunction), but it can change FDD sizes dramatically, which the
+//! `field_order` ablation bench measures.
+
+use crate::{FieldDef, Firewall, ModelError, Packet, Predicate, Rule, Schema};
+
+/// A permutation of field positions: `perm[new_position] = old_position`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldPermutation {
+    perm: Vec<usize>,
+}
+
+impl FieldPermutation {
+    /// Creates a permutation from `perm[new] = old`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFirewall`] unless `perm` is a
+    /// permutation of `0..perm.len()`.
+    pub fn new(perm: Vec<usize>) -> Result<Self, ModelError> {
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            if p >= perm.len() || seen[p] {
+                return Err(ModelError::InvalidFirewall {
+                    message: format!("{perm:?} is not a permutation of 0..{}", perm.len()),
+                });
+            }
+            seen[p] = true;
+        }
+        Ok(FieldPermutation { perm })
+    }
+
+    /// The identity permutation over `len` fields.
+    pub fn identity(len: usize) -> Self {
+        FieldPermutation {
+            perm: (0..len).collect(),
+        }
+    }
+
+    /// The reversal permutation over `len` fields.
+    pub fn reversed(len: usize) -> Self {
+        FieldPermutation {
+            perm: (0..len).rev().collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> FieldPermutation {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (new, &old) in self.perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        FieldPermutation { perm: inv }
+    }
+
+    /// Number of fields the permutation covers.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the permutation covers zero fields.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The old position a new position maps from.
+    pub fn old_position(&self, new: usize) -> usize {
+        self.perm[new]
+    }
+
+    /// Applies the permutation to a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] if the lengths differ.
+    pub fn apply_schema(&self, schema: &Schema) -> Result<Schema, ModelError> {
+        if schema.len() != self.perm.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.perm.len(),
+                found: schema.len(),
+            });
+        }
+        let fields: Vec<FieldDef> = self
+            .perm
+            .iter()
+            .map(|&old| schema.field(crate::FieldId(old)).clone())
+            .collect();
+        Schema::new(fields)
+    }
+
+    /// Applies the permutation to a packet (values follow their fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] if the lengths differ.
+    pub fn apply_packet(&self, packet: &Packet) -> Result<Packet, ModelError> {
+        if packet.len() != self.perm.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.perm.len(),
+                found: packet.len(),
+            });
+        }
+        Ok(Packet::new(
+            self.perm.iter().map(|&old| packet.values()[old]).collect(),
+        ))
+    }
+
+    /// Applies the permutation to a whole firewall, producing an equivalent
+    /// policy over the permuted schema: for every packet `p`,
+    /// `fw.decision_for(p) == permuted.decision_for(perm(p))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] if the schema width differs.
+    pub fn apply_firewall(&self, fw: &Firewall) -> Result<Firewall, ModelError> {
+        let schema = self.apply_schema(fw.schema())?;
+        let rules: Vec<Rule> = fw
+            .rules()
+            .iter()
+            .map(|r| {
+                let sets = self
+                    .perm
+                    .iter()
+                    .map(|&old| r.predicate().set(crate::FieldId(old)).clone())
+                    .collect();
+                Rule::new(Predicate::from_sets_unchecked(sets), r.decision())
+            })
+            .collect();
+        Firewall::new(schema, rules)
+    }
+}
+
+impl Firewall {
+    /// Re-expresses the policy over a permuted field order (§7.2); see
+    /// [`FieldPermutation::apply_firewall`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`FieldPermutation::apply_firewall`].
+    pub fn permute_fields(&self, perm: &FieldPermutation) -> Result<Firewall, ModelError> {
+        perm.apply_firewall(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn permutation_validation() {
+        assert!(FieldPermutation::new(vec![0, 2, 1]).is_ok());
+        assert!(FieldPermutation::new(vec![0, 0, 1]).is_err());
+        assert!(FieldPermutation::new(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = FieldPermutation::new(vec![2, 0, 1]).unwrap();
+        let inv = p.inverse();
+        let id = FieldPermutation::identity(3);
+        // Applying p then inv to a packet restores it.
+        let packet = Packet::new(vec![10, 20, 30]);
+        let there = p.apply_packet(&packet).unwrap();
+        let back = inv.apply_packet(&there).unwrap();
+        assert_eq!(back, packet);
+        assert_eq!(id.apply_packet(&packet).unwrap(), packet);
+    }
+
+    #[test]
+    fn permuted_firewall_is_semantically_consistent() {
+        let fw = paper::team_b();
+        let perm = FieldPermutation::reversed(fw.schema().len());
+        let permuted = fw.permute_fields(&perm).unwrap();
+        assert_eq!(permuted.schema().field(crate::FieldId(0)).name(), "proto");
+        for p in fw.witnesses() {
+            let q = perm.apply_packet(&p).unwrap();
+            assert_eq!(fw.decision_for(&p), permuted.decision_for(&q), "at {p}");
+        }
+    }
+
+    #[test]
+    fn schema_permutation_keeps_fields() {
+        let s = Schema::paper_example();
+        let perm = FieldPermutation::new(vec![4, 3, 2, 1, 0]).unwrap();
+        let t = perm.apply_schema(&s).unwrap();
+        assert_eq!(t.field(crate::FieldId(4)).name(), "iface");
+        assert_eq!(t.total_bits(), s.total_bits());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let fw = paper::team_a();
+        let perm = FieldPermutation::identity(3);
+        assert!(fw.permute_fields(&perm).is_err());
+    }
+}

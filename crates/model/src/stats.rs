@@ -1,0 +1,126 @@
+//! Structural statistics of a policy — the quantities Gupta-style rule
+//! surveys report and the synthetic generator is calibrated against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Decision, FieldId, Firewall};
+
+/// Structural statistics of one firewall policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirewallStats {
+    /// Total rules.
+    pub rules: usize,
+    /// Per field (schema order): how many rules constrain it to less than
+    /// its full domain.
+    pub constrained_per_field: Vec<usize>,
+    /// Rules per decision, in [`Decision::ALL`] order.
+    pub decisions: [usize; 4],
+    /// Rules whose predicate is simple (one interval per field).
+    pub simple_rules: usize,
+    /// Distinct non-full value sets per field — the "pool size" real
+    /// policies keep small.
+    pub distinct_sets_per_field: Vec<usize>,
+}
+
+impl FirewallStats {
+    /// Fraction of rules constraining field `id`.
+    pub fn constrained_fraction(&self, id: FieldId) -> f64 {
+        if self.rules == 0 {
+            0.0
+        } else {
+            self.constrained_per_field[id.index()] as f64 / self.rules as f64
+        }
+    }
+
+    /// Fraction of rules whose packets pass (accept or accept-log).
+    pub fn permit_fraction(&self) -> f64 {
+        if self.rules == 0 {
+            0.0
+        } else {
+            (self.decisions[0] + self.decisions[2]) as f64 / self.rules as f64
+        }
+    }
+}
+
+impl Firewall {
+    /// Computes [`FirewallStats`] for this policy.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fw_model::paper;
+    ///
+    /// let stats = paper::team_b().stats();
+    /// assert_eq!(stats.rules, 4);
+    /// assert!(stats.permit_fraction() > 0.0);
+    /// ```
+    pub fn stats(&self) -> FirewallStats {
+        let schema = self.schema();
+        let d = schema.len();
+        let mut constrained = vec![0usize; d];
+        let mut distinct: Vec<std::collections::HashSet<&crate::IntervalSet>> =
+            vec![std::collections::HashSet::new(); d];
+        let mut decisions = [0usize; 4];
+        let mut simple = 0usize;
+        for rule in self.rules() {
+            if rule.is_simple() {
+                simple += 1;
+            }
+            let di = Decision::ALL
+                .iter()
+                .position(|&x| x == rule.decision())
+                .expect("ALL is exhaustive");
+            decisions[di] += 1;
+            for (id, field) in schema.iter() {
+                let set = rule.predicate().set(id);
+                if !set.covers(field.domain()) {
+                    constrained[id.index()] += 1;
+                    distinct[id.index()].insert(set);
+                }
+            }
+        }
+        FirewallStats {
+            rules: self.len(),
+            constrained_per_field: constrained,
+            decisions,
+            simple_rules: simple,
+            distinct_sets_per_field: distinct.into_iter().map(|s| s.len()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn paper_example_stats() {
+        let s = paper::team_a().stats();
+        assert_eq!(s.rules, 3);
+        // iface constrained by rules 1 and 2 only.
+        assert_eq!(s.constrained_per_field[0], 2);
+        // src constrained by rule 2 only.
+        assert_eq!(s.constrained_per_field[1], 1);
+        assert_eq!(s.decisions, [2, 1, 0, 0]); // 2 accepts, 1 discard
+        assert_eq!(s.simple_rules, 3);
+        assert!((s.permit_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_sets_track_pools() {
+        let s = paper::team_b().stats();
+        // Both dst-constraining rules use the same mail-server set.
+        assert_eq!(s.distinct_sets_per_field[2], 1);
+        assert!(s.constrained_per_field[2] >= 2);
+    }
+
+    #[test]
+    fn constrained_fraction_bounds() {
+        let s = paper::team_b().stats();
+        for i in 0..5 {
+            let f = s.constrained_fraction(FieldId(i));
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness properties of the rule-DSL parser: it must never panic on
+//! arbitrary input, and parse/print must be mutually inverse on valid
+//! policies — including over permuted schemas.
+
+use fw_model::{FieldPermutation, Firewall, Packet, Schema};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,120}") {
+        // Any outcome is fine; panicking is not.
+        let _ = Firewall::parse(Schema::tcp_ip(), &text);
+        let _ = Firewall::parse(Schema::paper_example(), &text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_rule_shaped_text(
+        field in "(src|dst|sport|dport|proto|iface|nosuch)",
+        value in "[0-9./*|-]{0,20}",
+        decision in "(accept|discard|drop|reject|)",
+    ) {
+        let line = format!("{field}={value} -> {decision}");
+        let _ = Firewall::parse(Schema::tcp_ip(), &line);
+    }
+}
+
+#[test]
+fn print_parse_round_trip_under_permutation() {
+    use fw_model::paper;
+    let fw = paper::team_b();
+    for perm in [
+        FieldPermutation::identity(5),
+        FieldPermutation::reversed(5),
+        FieldPermutation::new(vec![2, 0, 4, 1, 3]).unwrap(),
+    ] {
+        let permuted = fw.permute_fields(&perm).unwrap();
+        let text = permuted.to_dsl();
+        let again = Firewall::parse(permuted.schema().clone(), &text).unwrap();
+        assert_eq!(permuted, again, "round trip failed for {perm:?}");
+        // Semantics under the permutation: decisions agree through the
+        // packet mapping.
+        for p in fw.witnesses() {
+            let q = perm.apply_packet(&p).unwrap();
+            assert_eq!(fw.decision_for(&p), permuted.decision_for(&q));
+        }
+    }
+}
+
+#[test]
+fn permutation_distributes_over_witnesses() {
+    use fw_model::paper;
+    let fw = paper::team_b();
+    let perm = FieldPermutation::new(vec![4, 0, 3, 1, 2]).unwrap();
+    let permuted = fw.permute_fields(&perm).unwrap();
+    for p in fw.witnesses() {
+        let q = perm.apply_packet(&p).unwrap();
+        assert_eq!(fw.decision_for(&p), permuted.decision_for(&q));
+    }
+    // And the inverse permutation undoes the firewall transform.
+    let back = permuted.permute_fields(&perm.inverse()).unwrap();
+    assert_eq!(back, fw);
+}
+
+#[test]
+fn permuted_packets_keep_values() {
+    let perm = FieldPermutation::reversed(3);
+    let p = Packet::new(vec![7, 8, 9]);
+    let q = perm.apply_packet(&p).unwrap();
+    assert_eq!(q.values(), &[9, 8, 7]);
+}

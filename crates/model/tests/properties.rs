@@ -1,0 +1,203 @@
+//! Property-based tests for the fw-model foundations.
+//!
+//! The interval-set algebra underlies every FDD operation, so it is verified
+//! here against a naive membership oracle over small domains; prefix
+//! conversion is checked for exact coverage, minimality-bound and round
+//! trips; the DSL printer/parser pair is checked as an inverse pair.
+
+use fw_model::prefix::{interval_to_prefixes, set_to_prefixes};
+use fw_model::{
+    Decision, FieldDef, FieldId, Firewall, Interval, IntervalSet, Packet, Predicate, Rule, Schema,
+};
+use proptest::prelude::*;
+
+const DOM: u64 = 63; // small domain so oracles can enumerate
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0..=DOM, 0..=DOM).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)).unwrap())
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(arb_interval(), 0..6).prop_map(IntervalSet::from_intervals)
+}
+
+fn members(s: &IntervalSet) -> Vec<bool> {
+    (0..=DOM).map(|v| s.contains(v)).collect()
+}
+
+proptest! {
+    #[test]
+    fn normalisation_is_canonical(ivs in prop::collection::vec(arb_interval(), 0..6)) {
+        let s = IntervalSet::from_intervals(ivs.clone());
+        // Same members as the raw union.
+        for v in 0..=DOM {
+            let naive = ivs.iter().any(|iv| iv.contains(v));
+            prop_assert_eq!(s.contains(v), naive);
+        }
+        // Runs are sorted, disjoint, non-adjacent.
+        let runs = s.as_slice();
+        for w in runs.windows(2) {
+            prop_assert!(w[0].hi() + 1 < w[1].lo(), "runs {} and {} not normalised", w[0], w[1]);
+        }
+        // Re-normalising is a fixpoint.
+        prop_assert_eq!(&IntervalSet::from_intervals(runs.iter().copied()), &s);
+    }
+
+    #[test]
+    fn set_algebra_matches_oracle(a in arb_set(), b in arb_set()) {
+        let (ma, mb) = (members(&a), members(&b));
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let diff = a.subtract(&b);
+        for v in 0..=DOM as usize {
+            prop_assert_eq!(union.contains(v as u64), ma[v] || mb[v], "union at {}", v);
+            prop_assert_eq!(inter.contains(v as u64), ma[v] && mb[v], "intersect at {}", v);
+            prop_assert_eq!(diff.contains(v as u64), ma[v] && !mb[v], "subtract at {}", v);
+        }
+        // Count agrees with membership.
+        prop_assert_eq!(union.count(), members(&union).iter().filter(|&&x| x).count() as u128);
+    }
+
+    #[test]
+    fn complement_laws(a in arb_set()) {
+        let dom = Interval::new(0, DOM).unwrap();
+        let c = a.complement(dom);
+        prop_assert!(a.intersect(&c).is_empty());
+        prop_assert!(a.union(&c).covers(dom));
+        prop_assert_eq!(&c.complement(dom), &a);
+    }
+
+    #[test]
+    fn subset_iff_subtract_empty(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.subtract(&b).is_empty());
+        prop_assert_eq!(a.intersects(&b), !a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn prefix_cover_is_exact_and_bounded(iv in arb_interval()) {
+        // DOM = 63 => 6-bit field.
+        let ps = interval_to_prefixes(iv, 6).unwrap();
+        for v in 0..=DOM {
+            prop_assert_eq!(ps.iter().any(|p| p.contains(v)), iv.contains(v), "at {}", v);
+        }
+        // Paper §7.1: at most 2w - 2 prefixes for w >= 2.
+        prop_assert!(ps.len() <= 10, "got {} prefixes for {}", ps.len(), iv);
+        // Prefixes are disjoint and ascending.
+        for w in ps.windows(2) {
+            prop_assert!(w[0].interval().hi() < w[1].interval().lo());
+        }
+    }
+
+    #[test]
+    fn set_prefix_cover_is_exact(s in arb_set()) {
+        let ps = set_to_prefixes(&s, 6).unwrap();
+        for v in 0..=DOM {
+            prop_assert_eq!(ps.iter().any(|p| p.contains(v)), s.contains(v), "at {}", v);
+        }
+    }
+
+    #[test]
+    fn wide_prefix_cover_round_trips(lo in any::<u32>(), hi in any::<u32>()) {
+        let (lo, hi) = (u64::from(lo.min(hi)), u64::from(lo.max(hi)));
+        let iv = Interval::new(lo, hi).unwrap();
+        let ps = interval_to_prefixes(iv, 32).unwrap();
+        prop_assert!(ps.len() <= 62); // 2*32 - 2
+        // The prefix intervals tile [lo, hi] exactly.
+        let mut expect = lo;
+        for p in &ps {
+            prop_assert_eq!(p.interval().lo(), expect);
+            expect = p.interval().hi().wrapping_add(1);
+        }
+        prop_assert_eq!(expect.wrapping_sub(1), hi);
+    }
+}
+
+fn arb_schema_packet_rules() -> impl Strategy<Value = (Schema, Vec<Rule>)> {
+    // Three small fields keep the space enumerable while exercising arity.
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 4).unwrap(),
+        FieldDef::new("c", 2).unwrap(),
+    ])
+    .unwrap();
+    let schema2 = schema.clone();
+    let arb_field_set = |bits: u32| {
+        let max = (1u64 << bits) - 1;
+        prop::collection::vec((0..=max, 0..=max), 1..3).prop_map(move |pairs| {
+            IntervalSet::from_intervals(
+                pairs
+                    .into_iter()
+                    .map(|(x, y)| Interval::new(x.min(y), x.max(y)).unwrap()),
+            )
+        })
+    };
+    let rule = (
+        arb_field_set(3),
+        arb_field_set(4),
+        arb_field_set(2),
+        0..4usize,
+    )
+        .prop_map(move |(a, b, c, d)| {
+            Rule::new(
+                Predicate::new(&schema2, vec![a, b, c]).unwrap(),
+                Decision::ALL[d],
+            )
+        });
+    prop::collection::vec(rule, 1..8).prop_map(move |mut rules| {
+        rules.push(Rule::catch_all(&schema, Decision::Accept));
+        (schema.clone(), rules)
+    })
+}
+
+proptest! {
+    #[test]
+    fn dsl_round_trip_preserves_semantics((schema, rules) in arb_schema_packet_rules()) {
+        let fw = Firewall::new(schema.clone(), rules).unwrap();
+        let text = fw.to_dsl();
+        let again = Firewall::parse(schema.clone(), &text).unwrap();
+        // Same decision for every packet in the (small) space.
+        for a in 0..8u64 {
+            for b in 0..16u64 {
+                for c in 0..4u64 {
+                    let p = Packet::new(vec![a, b, c]);
+                    prop_assert_eq!(fw.decision_for(&p), again.decision_for(&p), "at {}", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_rule_lowering_preserves_semantics((schema, rules) in arb_schema_packet_rules()) {
+        let fw = Firewall::new(schema, rules).unwrap();
+        let simple = fw.to_simple_rules();
+        prop_assert!(simple.is_simple());
+        for a in 0..8u64 {
+            for b in 0..16u64 {
+                for c in 0..4u64 {
+                    let p = Packet::new(vec![a, b, c]);
+                    prop_assert_eq!(fw.decision_for(&p), simple.decision_for(&p), "at {}", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_match_is_first((schema, rules) in arb_schema_packet_rules()) {
+        let fw = Firewall::new(schema, rules).unwrap();
+        for p in fw.witnesses() {
+            let idx = fw.first_match(&p).expect("witness matches its own rule");
+            for earlier in 0..idx {
+                prop_assert!(!fw.rules()[earlier].matches(&p));
+            }
+            prop_assert!(fw.rules()[idx].matches(&p));
+            prop_assert_eq!(fw.decision_for(&p), Some(fw.rules()[idx].decision()));
+        }
+    }
+}
+
+#[test]
+fn packet_field_access_consistency() {
+    let p = Packet::new(vec![9, 8, 7]);
+    assert_eq!(p.values(), &[9, 8, 7]);
+    assert_eq!(p.get(FieldId(0)), Some(9));
+}

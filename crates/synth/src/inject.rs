@@ -1,0 +1,165 @@
+//! Error injection for the §8.1 **effectiveness experiment**.
+//!
+//! The paper redesigns an 87-rule policy and finds 84 functional
+//! discrepancies against the original; of the 82 that were the original's
+//! fault, 72 came from **incorrect rule ordering** (mostly new rules wrongly
+//! added at the top over the years) and the rest from **missing rules**.
+//! [`inject_errors`] reproduces those two error classes on a correct
+//! policy, so the comparison pipeline's ability to find *all* of them can
+//! be measured against ground truth.
+
+use fw_model::{Firewall, Rule};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// What [`inject_errors`] did to the policy, for ground-truth accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedError {
+    /// A copy of rule `source` was inserted at the top with its decision
+    /// inverted — the "new rule wrongly added to the beginning" class.
+    OrderingShadow {
+        /// Index of the shadowed rule in the *original* policy.
+        source: usize,
+    },
+    /// Rule `index` (original numbering) was deleted.
+    MissingRule {
+        /// Index of the deleted rule in the *original* policy.
+        index: usize,
+    },
+}
+
+/// A flawed policy plus the ground-truth list of injected errors.
+#[derive(Debug, Clone)]
+pub struct InjectionOutcome {
+    /// The flawed policy (the "original firewall" of §8.1, which the
+    /// redesign is compared against).
+    pub flawed: Firewall,
+    /// Every injected error, in application order.
+    pub errors: Vec<InjectedError>,
+}
+
+/// Injects `ordering` incorrect-ordering errors and `missing` missing-rule
+/// errors into `correct`, deterministically per seed.
+///
+/// An ordering error copies a random non-catch-all rule to the top of the
+/// policy with its decision inverted: exactly the "administrator adds a new
+/// rule to the beginning and unknowingly changes the meaning of the rules
+/// below" failure §8.1 describes. A missing error deletes a random
+/// non-catch-all rule.
+///
+/// # Panics
+///
+/// Panics if the policy is too small to host the requested error count
+/// (needs at least `missing + 1` rules).
+pub fn inject_errors(
+    correct: &Firewall,
+    ordering: usize,
+    missing: usize,
+    seed: u64,
+) -> InjectionOutcome {
+    assert!(
+        correct.len() > missing,
+        "cannot delete {missing} rules from a {}-rule policy",
+        correct.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = Vec::with_capacity(ordering + missing);
+    let mut flawed = correct.clone();
+
+    // Missing rules first (indices refer to the original policy).
+    let mut candidates: Vec<usize> = (0..correct.len().saturating_sub(1)).collect();
+    candidates.shuffle(&mut rng);
+    let mut doomed: Vec<usize> = candidates.into_iter().take(missing).collect();
+    doomed.sort_unstable();
+    for &i in doomed.iter().rev() {
+        flawed = flawed
+            .with_rule_removed(i)
+            .expect("candidate indices are in range");
+        errors.push(InjectedError::MissingRule { index: i });
+    }
+
+    // Ordering errors: shadow random surviving rules from the top.
+    for _ in 0..ordering {
+        if flawed.len() <= 1 {
+            break;
+        }
+        let source = rng.random_range(0..flawed.len() - 1);
+        let rule: &Rule = &flawed.rules()[source];
+        let shadow = rule.with_decision(rule.decision().inverted());
+        flawed = flawed
+            .with_rule_inserted(0, shadow)
+            .expect("index 0 is always valid");
+        errors.push(InjectedError::OrderingShadow { source });
+    }
+
+    InjectionOutcome { flawed, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Synthesizer;
+
+    #[test]
+    fn injection_is_deterministic_and_counted() {
+        let correct = Synthesizer::new(30).firewall(40);
+        let a = inject_errors(&correct, 5, 3, 77);
+        let b = inject_errors(&correct, 5, 3, 77);
+        assert_eq!(a.flawed, b.flawed);
+        assert_eq!(a.errors.len(), 8);
+        assert_eq!(a.flawed.len(), 40 - 3 + 5);
+    }
+
+    #[test]
+    fn injected_errors_are_discoverable() {
+        let correct = Synthesizer::new(31).firewall(30);
+        let out = inject_errors(&correct, 4, 2, 5);
+        let ds = fw_core::compare_firewalls(&out.flawed, &correct).unwrap();
+        // The flawed policy genuinely differs (shadowing with inverted
+        // decisions over non-empty effective regions almost surely changes
+        // semantics), and every reported region is a real difference.
+        for d in &ds {
+            let w = d.witness();
+            assert_eq!(out.flawed.decision_for(&w), Some(d.left()));
+            assert_eq!(correct.decision_for(&w), Some(d.right()));
+        }
+    }
+
+    #[test]
+    fn zero_errors_is_identity() {
+        let correct = Synthesizer::new(32).firewall(20);
+        let out = inject_errors(&correct, 0, 0, 0);
+        assert_eq!(out.flawed, correct);
+        assert!(out.errors.is_empty());
+    }
+
+    #[test]
+    fn paper_mix_72_ordering_10_missing() {
+        // The §8.1 mix on the 87-rule documented policy.
+        let correct = crate::documented_firewall();
+        let out = inject_errors(&correct, 72, 10, 1984);
+        assert_eq!(
+            out.errors
+                .iter()
+                .filter(|e| matches!(e, InjectedError::OrderingShadow { .. }))
+                .count(),
+            72
+        );
+        assert_eq!(
+            out.errors
+                .iter()
+                .filter(|e| matches!(e, InjectedError::MissingRule { .. }))
+                .count(),
+            10
+        );
+        assert_eq!(out.flawed.len(), 87 - 10 + 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot delete")]
+    fn too_many_missing_panics() {
+        let correct = Synthesizer::new(33).firewall(3);
+        let _ = inject_errors(&correct, 0, 3, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic workloads for evaluating diverse firewall design (paper §8).
+//!
+//! Everything the evaluation needs that the authors could not publish —
+//! their university's confidential policies, their design teams, their
+//! traffic — is synthesised here, deterministically:
+//!
+//! * [`Synthesizer`] — seeded policy generator following the real-life rule
+//!   statistics the paper cites (Gupta \[13]): pooled site prefixes,
+//!   well-known ports, protocol skew, catch-all tail (§8.2.2).
+//! * [`perturb`] — the Fig. 12 model: select `x%` of a policy's rules, flip
+//!   the decisions of a random share, delete the rest (§8.2.1).
+//! * [`university_large`] / [`university_average`] /
+//!   [`documented_firewall`] — fixed-seed stand-ins for the paper's
+//!   661-rule, 42-rule and 87-rule real-life policies.
+//! * [`inject_errors`] — the §8.1 error classes (incorrect ordering,
+//!   missing rules) with ground-truth accounting.
+//! * [`PacketTrace`] — deterministic packet samples with a compact binary
+//!   encoding, used as a sampling oracle and benchmark input.
+//!
+//! # Example
+//!
+//! ```
+//! use fw_synth::{perturb, Synthesizer};
+//!
+//! let original = Synthesizer::new(1).firewall(200);
+//! let edited = perturb(&original, 10, 7); // Fig. 12 with x = 10
+//! let impact = fw_core::ChangeImpact::between(&original, &edited).unwrap();
+//! println!("{} regions changed", impact.discrepancies().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod evolve;
+mod generator;
+mod inject;
+mod perturb;
+mod real_life;
+mod trace;
+
+pub use evolve::{evolve, EvolutionProfile, EvolutionStep};
+pub use generator::{SynthProfile, Synthesizer};
+pub use inject::{inject_errors, InjectedError, InjectionOutcome};
+pub use perturb::perturb;
+pub use real_life::{documented_firewall, university_average, university_large};
+pub use trace::PacketTrace;

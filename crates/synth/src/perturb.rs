@@ -1,0 +1,112 @@
+//! The **Fig. 12 perturbation model** (paper §8.2.1): derive a second
+//! version from a real policy the way the paper simulates two design teams.
+//!
+//! For a policy and a fraction `x`: select `x%` of the rules at random into
+//! a set `S`; pick `y ~ U(0, 100)`; flip the decision of `y%` of `S`;
+//! delete the remaining `(100 − y)%` of `S` from the policy. The original
+//! and the perturbed policy then share `(1 − x%) · n` rules, exactly the
+//! workload Fig. 12 sweeps over `x ∈ {5 … 50}`.
+
+use fw_model::Firewall;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Applies the Fig. 12 perturbation: selects `percent`% of the rules, flips
+/// the decision of a uniformly random share of them and deletes the rest.
+///
+/// The final rule (the comprehensiveness catch-all) is never deleted — a
+/// rule sequence must stay comprehensive to be a firewall (§3.1) — though
+/// its decision may flip.
+///
+/// Returns the perturbed policy; the same `(firewall, percent, seed)`
+/// triple always produces the same output.
+///
+/// # Panics
+///
+/// Panics if `percent > 100`.
+pub fn perturb(fw: &Firewall, percent: u32, seed: u64) -> Firewall {
+    assert!(percent <= 100, "percent must be in 0..=100");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = fw.len();
+    let k = (n * percent as usize) / 100;
+    // Select k distinct rule indices.
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let selected = &mut indices[..k];
+    selected.sort_unstable();
+
+    // y ~ U(0, 100): share of the selected rules whose decision flips.
+    let y: u32 = rng.random_range(0..=100);
+    let flips = (selected.len() * y as usize) / 100;
+
+    let mut rules = fw.rules().to_vec();
+    let mut to_delete = Vec::new();
+    for (pos, &i) in selected.iter().enumerate() {
+        if pos < flips {
+            rules[i] = rules[i].with_decision(rules[i].decision().inverted());
+        } else if i + 1 < n {
+            to_delete.push(i);
+        } else {
+            // Never delete the trailing catch-all; flip it instead.
+            rules[i] = rules[i].with_decision(rules[i].decision().inverted());
+        }
+    }
+    for &i in to_delete.iter().rev() {
+        rules.remove(i);
+    }
+    Firewall::new(fw.schema().clone(), rules).expect("perturbation keeps rules valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Synthesizer;
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let fw = Synthesizer::new(5).firewall(60);
+        assert_eq!(perturb(&fw, 20, 9), perturb(&fw, 20, 9));
+        assert_ne!(perturb(&fw, 20, 9), perturb(&fw, 20, 10));
+    }
+
+    #[test]
+    fn zero_percent_is_identity() {
+        let fw = Synthesizer::new(5).firewall(60);
+        assert_eq!(perturb(&fw, 0, 1), fw);
+    }
+
+    #[test]
+    fn output_stays_comprehensive_and_comparable() {
+        let fw = Synthesizer::new(6).firewall(40);
+        for seed in 0..10 {
+            let p = perturb(&fw, 50, seed);
+            assert!(p.is_comprehensive_syntactically());
+            assert!(p.len() <= fw.len());
+            assert!(p.len() >= fw.len() - fw.len() / 2);
+            // The pair feeds the comparison pipeline without error.
+            let ds = fw_core::compare_firewalls(&fw, &p).unwrap();
+            // Soundness of the reported discrepancies.
+            for d in ds {
+                let w = d.witness();
+                assert_eq!(fw.decision_for(&w), Some(d.left()));
+                assert_eq!(p.decision_for(&w), Some(d.right()));
+            }
+        }
+    }
+
+    #[test]
+    fn hundred_percent_touches_every_rule() {
+        let fw = Synthesizer::new(7).firewall(30);
+        let p = perturb(&fw, 100, 3);
+        // All rules selected: each either flipped or deleted; shared
+        // unmodified rules only by decision-flip coincidence.
+        assert!(p.len() <= fw.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn over_100_percent_panics() {
+        let fw = Synthesizer::new(8).firewall(10);
+        let _ = perturb(&fw, 101, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Render the paper's Figures 2–5 as Graphviz DOT.
+//!
+//! Writes `figure2.dot` … `figure5.dot` into the current directory (the
+//! FDDs constructed from Team A's and Team B's firewalls, and the
+//! semi-isomorphic pair after shaping), plus reduced variants, and prints
+//! size statistics for each. Render with e.g.
+//! `dot -Tsvg figure2.dot > figure2.svg`.
+//!
+//! Run with: `cargo run --example fdd_viz`
+
+use diverse_firewall::core::{shape_pair, Fdd};
+use diverse_firewall::model::paper;
+
+fn report(name: &str, fdd: &Fdd) -> Result<(), std::io::Error> {
+    let stats = fdd.stats();
+    println!(
+        "{name}: {} nodes ({} terminals), {} edges, {} paths, depth {}",
+        stats.nodes, stats.terminals, stats.edges, stats.paths, stats.depth
+    );
+    std::fs::write(format!("{name}.dot"), fdd.to_dot())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figures 2 and 3: the FDDs constructed from Tables 1 and 2. The
+    // paper draws them reduced for readability; write both forms.
+    let fig2 = Fdd::from_firewall(&paper::team_a())?;
+    let fig3 = Fdd::from_firewall(&paper::team_b())?;
+    report("figure2", &fig2.reduced())?;
+    report("figure3", &fig3.reduced())?;
+
+    // Figures 4 and 5: the semi-isomorphic pair after shaping.
+    let mut fig4 = fig2.to_simple();
+    let mut fig5 = fig3.to_simple();
+    shape_pair(&mut fig4, &mut fig5)?;
+    report("figure4", &fig4)?;
+    report("figure5", &fig5)?;
+
+    println!("wrote figure2.dot .. figure5.dot — render with `dot -Tsvg figureN.dot`");
+    Ok(())
+}

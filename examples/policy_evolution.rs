@@ -1,0 +1,81 @@
+//! A year in the life of a firewall: longitudinal change-impact analysis.
+//!
+//! Replays a simulated administration history (threat blocks at the top,
+//! service openings, cleanups) and, for every step, computes its exact
+//! impact — flagging the changes that silently affected far more traffic
+//! than an administrator would expect, and measuring the "policy rot"
+//! (accumulated redundancy) at the end.
+//!
+//! Run with: `cargo run --release --example policy_evolution`
+
+use diverse_firewall::core::{ChangeImpact, Edit};
+use diverse_firewall::gen::analyze_redundancy;
+use diverse_firewall::synth::{evolve, EvolutionProfile, Synthesizer};
+
+fn describe(edit: &Edit) -> String {
+    match edit {
+        Edit::Insert { index: 0, .. } => "block new threat (insert at top)".to_owned(),
+        Edit::Insert { index, .. } => format!("open service (insert at {index})"),
+        Edit::Remove { index } => format!("cleanup: delete rule {index}"),
+        Edit::Swap { first, second } => format!("cleanup: swap rules {first} and {second}"),
+        Edit::Replace { index, .. } => format!("flip decision of rule {index}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let initial = Synthesizer::new(2026).firewall(30);
+    println!("initial policy: {} rules", initial.len());
+
+    let history = evolve(&initial, 24, &EvolutionProfile::default(), 7);
+    let mut prev = initial.clone();
+    let mut risky = 0usize;
+    for (month, step) in history.iter().enumerate() {
+        let impact = ChangeImpact::between(&prev, &step.after)?;
+        let regions = impact.discrepancies().len();
+        let packets = impact.affected_packets();
+        let flag = if packets > 1u128 << 80 {
+            risky += 1;
+            "  ⚠ broad impact"
+        } else if impact.is_noop() {
+            "  (no semantic change)"
+        } else {
+            ""
+        };
+        println!(
+            "step {:>2}: {:<38} -> {:>3} region(s), {:>28} packet(s){}",
+            month + 1,
+            describe(&step.edit),
+            regions,
+            packets,
+            flag
+        );
+        prev = step.after.clone();
+    }
+
+    let last = &history.last().expect("non-empty history").after;
+    println!(
+        "\nfinal policy: {} rules (started at {})",
+        last.len(),
+        initial.len()
+    );
+    println!("{risky} step(s) had unusually broad impact — candidates for review");
+
+    // Policy rot: how much of the grown policy is dead weight?
+    let report = analyze_redundancy(last);
+    println!("redundant rules accumulated: {}", report.redundant.len());
+    let compact = diverse_firewall::gen::remove_redundant_rules(last)?;
+    println!(
+        "after compaction: {} rules (semantics preserved)",
+        compact.len()
+    );
+    assert!(fw_core::equivalent(last, &compact)?);
+
+    // And the total drift over the whole period, as one change-impact run.
+    let total = ChangeImpact::between(&initial, last)?;
+    println!(
+        "total drift vs the initial policy: {} region(s), {} packet(s)",
+        total.discrepancies().len(),
+        total.affected_packets()
+    );
+    Ok(())
+}

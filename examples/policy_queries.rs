@@ -1,0 +1,47 @@
+//! Design-phase policy queries (the paper's companion ref [20]): each team
+//! interrogates its own draft before the cross-team comparison.
+//!
+//! Queries run on the FDD, so answers are exact regions — no packet
+//! enumeration, no sampling.
+//!
+//! Run with: `cargo run --example policy_queries`
+
+use diverse_firewall::core::{any_match, query_firewall};
+use diverse_firewall::model::{paper, Decision, FieldId, Interval, IntervalSet, Predicate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fw = paper::team_a();
+    let schema = fw.schema().clone();
+    println!("policy under review (Team A, Table 1):\n{fw}");
+
+    // Q1: which inbound packets can reach the mail server?
+    let inbound_mail = Predicate::any(&schema)
+        .with_field(FieldId(0), IntervalSet::from_value(0))?
+        .with_field(FieldId(2), IntervalSet::from_value(paper::MAIL_SERVER))?;
+    println!("Q1: inbound traffic accepted for the mail server:");
+    for region in query_firewall(&fw, &inbound_mail, Decision::Accept)? {
+        println!("  {}", region.display(&schema));
+    }
+
+    // Q2: does anything from the malicious domain get through?
+    let from_malicious = Predicate::any(&schema)
+        .with_field(FieldId(0), IntervalSet::from_value(0))?
+        .with_field(
+            FieldId(1),
+            IntervalSet::from_interval(Interval::new(paper::MALICIOUS_LO, paper::MALICIOUS_HI)?),
+        )?;
+    let leak = any_match(&fw, &from_malicious, Decision::Accept)?;
+    println!("\nQ2: does Team A accept anything from 224.168.0.0/16? {leak}");
+    if leak {
+        println!("    the leaking regions:");
+        for region in query_firewall(&fw, &from_malicious, Decision::Accept)? {
+            println!("  {}", region.display(&schema));
+        }
+        println!("    (this is exactly the hole discrepancy 1 of Table 3 exposes)");
+    }
+
+    // Q3: the same question against Team B's design — no leak.
+    let safe = any_match(&paper::team_b(), &from_malicious, Decision::Accept)?;
+    println!("\nQ3: does Team B accept anything from 224.168.0.0/16? {safe}");
+    Ok(())
+}

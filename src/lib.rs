@@ -1,0 +1,52 @@
+//! **diverse-firewall** — a complete implementation of *Diverse Firewall
+//! Design* (Alex X. Liu and Mohamed G. Gouda, IEEE DSN 2004; extended in
+//! IEEE TPDS 19(9), 2008).
+//!
+//! Firewall policies are ordered, conflicting rule lists; getting them
+//! right is hard, and most deployed policies contain errors. The paper's
+//! remedy is **design diversity**: several teams design the policy
+//! independently from one specification, an algorithm computes *every*
+//! functional discrepancy between the versions in human-readable form, the
+//! teams resolve each discrepancy, and a final firewall is generated that
+//! provably implements the resolution. The same machinery computes the
+//! exact **impact of policy changes**.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `fw-model` | packets, intervals, rules, policies, prefix ↔ interval conversion, rule DSL |
+//! | [`core`] | `fw-core` | FDDs; the construction (§3), shaping (§4) and comparison (§5) algorithms; N-way comparison (§7.3); change impact (§1.3) |
+//! | [`gen`] | `fw-gen` | rule generation from FDDs (ref \[12]); complete redundancy removal (ref \[19]) |
+//! | [`diverse`] | `fw-diverse` | the three-phase method end to end: comparison, resolution, finalisation (§2, §6), reports |
+//! | [`synth`] | `fw-synth` | evaluation workloads: synthetic policies, Fig. 12 perturbation, §8.1 error injection, packet traces |
+//! | [`bdd`] | `fw-bdd` | the §7.5 baseline: a from-scratch ROBDD engine and bit-level policy diffing |
+//!
+//! # Quickstart
+//!
+//! ```
+//! # fn main() -> Result<(), fw_diverse::DiverseError> {
+//! use diverse_firewall::diverse::{finalize, Comparison, Resolution};
+//! use diverse_firewall::model::paper;
+//!
+//! // Phase 2: compare the two team designs of the paper's Tables 1 and 2.
+//! let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()])?;
+//! assert_eq!(cmp.discrepancies().len(), 3); // Table 3
+//!
+//! // Phase 3: resolve each discrepancy and generate the agreed firewall.
+//! let res = Resolution::by_majority(&cmp);
+//! let agreed = finalize(&cmp, &res)?;
+//! println!("{agreed}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fw_bdd as bdd;
+pub use fw_core as core;
+pub use fw_diverse as diverse;
+pub use fw_gen as gen;
+pub use fw_model as model;
+pub use fw_synth as synth;

@@ -1,0 +1,183 @@
+//! Full-workflow integration tests on realistic workloads: change-impact
+//! audits, the simulated §8.1 effectiveness experiment, and the complete
+//! three-phase diverse-design flow on generated policies.
+
+use diverse_firewall::core::{ChangeImpact, Edit};
+use diverse_firewall::diverse::{finalize, Comparison, Resolution};
+use diverse_firewall::gen::generate_rules;
+use diverse_firewall::model::{Decision, Rule};
+use diverse_firewall::synth::{
+    documented_firewall, inject_errors, perturb, university_average, PacketTrace, Synthesizer,
+};
+
+#[test]
+fn change_impact_is_exact_on_average_policy() {
+    let policy = university_average();
+    let (after, impact) = ChangeImpact::of_edits(
+        &policy,
+        &[Edit::Insert {
+            index: 0,
+            rule: Rule::catch_all(policy.schema(), Decision::Discard),
+        }],
+    )
+    .unwrap();
+    // Blanket discard at the top: everything previously accepted flips.
+    assert!(!impact.is_noop());
+    let trace = PacketTrace::random(policy.schema().clone(), 10_000, 1);
+    for p in trace.packets() {
+        assert_eq!(
+            impact.affects(p),
+            policy.decision_for(p) != after.decision_for(p),
+            "at {p}"
+        );
+    }
+}
+
+#[test]
+fn fig12_style_perturbation_impacts_are_sound() {
+    let base = university_average();
+    for x in [5u32, 25, 50] {
+        let derived = perturb(&base, x, u64::from(x) + 7);
+        let impact = ChangeImpact::between(&base, &derived).unwrap();
+        let trace = PacketTrace::random(base.schema().clone(), 8_000, u64::from(x));
+        for p in trace.packets() {
+            assert_eq!(
+                impact.affects(p),
+                base.decision_for(p) != derived.decision_for(p),
+                "x={x} at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn effectiveness_experiment_in_miniature() {
+    let redesign = documented_firewall();
+    let outcome = inject_errors(&redesign, 20, 4, 99);
+    let impact = ChangeImpact::between(&outcome.flawed, &redesign).unwrap();
+    // With inverted-decision shadows at the top, differences must exist.
+    assert!(!impact.is_noop());
+    let trace = PacketTrace::random(redesign.schema().clone(), 20_000, 5);
+    for p in trace.packets() {
+        assert_eq!(
+            impact.affects(p),
+            outcome.flawed.decision_for(p) != redesign.decision_for(p),
+            "at {p}"
+        );
+    }
+}
+
+#[test]
+fn three_phase_workflow_on_generated_teams() {
+    // Three "teams": one ground truth and two perturbed readings of it.
+    let spec = Synthesizer::new(123).firewall(20);
+    let team1 = spec.clone();
+    let team2 = perturb(&spec, 20, 1);
+    let team3 = perturb(&spec, 20, 2);
+    let cmp = Comparison::of(vec![team1.clone(), team2, team3]).unwrap();
+
+    // Majority resolution: with two derivatives perturbed independently,
+    // the ground truth usually wins each vote.
+    let res = Resolution::by_majority(&cmp);
+    let agreed = finalize(&cmp, &res).unwrap();
+
+    // The agreed firewall implements every resolution entry.
+    for e in res.entries() {
+        let w = e.discrepancy().witness();
+        assert_eq!(agreed.decision_for(&w), Some(e.decision()));
+    }
+    // And where all teams agreed, the agreed firewall follows them.
+    let trace = PacketTrace::random(spec.schema().clone(), 5_000, 11);
+    for p in trace.packets() {
+        let decs = cmp.decisions_for(p);
+        if decs.windows(2).all(|w| w[0] == w[1]) {
+            assert_eq!(agreed.decision_for(p), decs[0], "at {p}");
+        }
+    }
+}
+
+#[test]
+fn regenerated_policies_stay_equivalent_on_real_sizes() {
+    // FDD → rules → FDD round trip on the 42-rule policy.
+    let policy = university_average();
+    let fdd = fw_core::Fdd::from_firewall_fast(&policy).unwrap();
+    let regenerated = generate_rules(&fdd).unwrap();
+    assert!(fw_core::equivalent(&policy, &regenerated).unwrap());
+    // The regenerated policy is compact: no redundancy left.
+    assert!(diverse_firewall::gen::analyze_redundancy(&regenerated)
+        .redundant
+        .is_empty());
+}
+
+#[test]
+fn trace_round_trip_across_crates() {
+    let policy = university_average();
+    let trace = PacketTrace::random(policy.schema().clone(), 1_000, 3);
+    let bytes = trace.encode();
+    let back = PacketTrace::decode(policy.schema().clone(), bytes).unwrap();
+    assert_eq!(trace, back);
+    let fdd = fw_core::Fdd::from_firewall_fast(&policy).unwrap();
+    for p in back.packets() {
+        assert_eq!(policy.decision_for(p), fdd.decision_for(p));
+    }
+}
+
+#[test]
+fn design_session_walks_the_paper_example() {
+    use diverse_firewall::diverse::DesignSession;
+    use diverse_firewall::model::paper;
+    let resolved = DesignSession::new()
+        .team("Team A", paper::team_a())
+        .team("Team B", paper::team_b())
+        .compare()
+        .unwrap()
+        .resolve_by_majority();
+    let scores = resolved.scores();
+    assert_eq!(scores.len(), 2);
+    assert_eq!(scores[0].correct + scores[0].incorrect, 3);
+    let agreed = resolved.finalize().unwrap();
+    assert!(fw_core::equivalent(&agreed, &paper::team_b()).unwrap());
+}
+
+#[test]
+fn evolution_history_is_fully_auditable() {
+    use diverse_firewall::synth::{evolve, EvolutionProfile};
+    let base = Synthesizer::new(99).firewall(12);
+    let history = evolve(&base, 6, &EvolutionProfile::default(), 3);
+    let mut prev = base.clone();
+    for step in &history {
+        let impact = ChangeImpact::between(&prev, &step.after).unwrap();
+        // Sampling oracle per step.
+        let trace = PacketTrace::biased(&prev, 2_000, 0.3, 11);
+        for p in trace.packets() {
+            assert_eq!(
+                impact.affects(p),
+                prev.decision_for(p) != step.after.decision_for(p),
+                "at {p}"
+            );
+        }
+        prev = step.after.clone();
+    }
+}
+
+#[test]
+fn iptables_round_trip_through_the_comparison_pipeline() {
+    use diverse_firewall::model::iptables;
+    let v1 = std::fs::read_to_string(format!(
+        "{}/policies/router_v1.rules",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    let v2 = std::fs::read_to_string(format!(
+        "{}/policies/router_v2.rules",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    let a = iptables::parse(&v1).unwrap();
+    let b = iptables::parse(&v2).unwrap();
+    let ds = fw_core::compare_firewalls(&a, &b).unwrap();
+    assert_eq!(ds.len(), 2, "DNS narrowing + mail source narrowing");
+    // Export → reparse → identical semantics.
+    let again = iptables::parse(&iptables::export(&a, "INPUT").unwrap()).unwrap();
+    assert!(fw_core::equivalent(&a, &again).unwrap());
+}
