@@ -1,0 +1,32 @@
+//! Criterion tracking for the **parallel sharded comparison engine**:
+//! serial fast pipeline vs `compare_firewalls_parallel` at 1/2/4/8
+//! worker threads on a fixed synthetic pair. The `compare` binary prints
+//! the full serial-vs-parallel series with speedups; this bench pins one
+//! workload for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fw_bench::{measure_pair, measure_pair_parallel};
+use fw_synth::Synthesizer;
+
+fn parallel_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    let a = Synthesizer::new(100).firewall(1000);
+    let b = Synthesizer::new(200).firewall(1000);
+    group.bench_with_input(
+        BenchmarkId::new("serial", 1000),
+        &(&a, &b),
+        |bch, (a, b)| bch.iter(|| measure_pair(a, b)),
+    );
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("n1000-j{jobs}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| measure_pair_parallel(a, b, jobs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_engine);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Serial vs parallel comparison-engine benchmark: times the fast
+//! pipeline (construction + synchronized product + cell count) serially
+//! and under the sharded parallel engine at 1/2/4/8 worker threads, on
+//! the Fig. 12 real-life-sized workloads and the Fig. 13 independent
+//! synthetic pairs, then writes `BENCH_compare.json`.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin compare`
+//!
+//! Speedups are bounded by the machine: the JSON records
+//! `available_parallelism` so single-core containers (where every thread
+//! count necessarily ties) are distinguishable from real multi-core runs.
+
+use std::fmt::Write as _;
+
+use fw_bench::{measure_pair, measure_pair_parallel};
+use fw_model::Firewall;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+const REPEATS: u32 = 3;
+
+struct Row {
+    workload: String,
+    serial_ms: f64,
+    parallel_ms: Vec<(usize, f64)>,
+    cells: u128,
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn bench_workload(name: &str, a: &Firewall, b: &Firewall) -> Row {
+    let serial_ms = median_of(
+        (0..REPEATS)
+            .map(|_| measure_pair(a, b).0.total().as_secs_f64() * 1e3)
+            .collect(),
+    );
+    let (_, cells) = measure_pair(a, b);
+    let mut parallel_ms = Vec::with_capacity(JOBS.len());
+    for jobs in JOBS {
+        let t = median_of(
+            (0..REPEATS)
+                .map(|_| {
+                    let (pt, pc) = measure_pair_parallel(a, b, jobs);
+                    assert_eq!(pc, cells, "{name}: parallel cells diverge at jobs={jobs}");
+                    pt.total().as_secs_f64() * 1e3
+                })
+                .collect(),
+        );
+        parallel_ms.push((jobs, t));
+    }
+    println!(
+        "{name}: serial {serial_ms:.2} ms | {}",
+        parallel_ms
+            .iter()
+            .map(|(j, t)| format!("j{j} {t:.2} ms (x{:.2})", serial_ms / t))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    Row {
+        workload: name.to_owned(),
+        serial_ms,
+        parallel_ms,
+        cells,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("comparison engine benchmark ({cores} core(s) available)");
+
+    let mut rows = Vec::new();
+
+    // Fig. 12 shape: real-life-sized policies vs light perturbations.
+    let avg = fw_synth::university_average();
+    rows.push(bench_workload(
+        "fig12/avg(42)-perturbed",
+        &avg,
+        &fw_synth::perturb(&avg, 20, 1),
+    ));
+    let large = fw_synth::university_large();
+    rows.push(bench_workload(
+        "fig12/large(661)-perturbed",
+        &large,
+        &fw_synth::perturb(&large, 10, 1),
+    ));
+
+    // Fig. 13 shape: independent synthetic pairs up to the 3,000-rule
+    // headline.
+    let mut s1 = fw_synth::Synthesizer::new(100);
+    let mut s2 = fw_synth::Synthesizer::new(200);
+    for n in [500usize, 1000, 2000, 3000] {
+        let a = s1.firewall(n);
+        let b = s2.firewall(n);
+        rows.push(bench_workload(&format!("fig13/independent-n{n}"), &a, &b));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(json, "      \"diff_cells\": {},", r.cells);
+        let _ = writeln!(json, "      \"serial_ms\": {:.3},", r.serial_ms);
+        json.push_str("      \"parallel_ms\": {");
+        for (k, (jobs, t)) in r.parallel_ms.iter().enumerate() {
+            let sep = if k + 1 < r.parallel_ms.len() {
+                ", "
+            } else {
+                ""
+            };
+            let _ = write!(json, "\"{jobs}\": {t:.3}{sep}");
+        }
+        json.push_str("},\n");
+        json.push_str("      \"speedup\": {");
+        for (k, (jobs, t)) in r.parallel_ms.iter().enumerate() {
+            let sep = if k + 1 < r.parallel_ms.len() {
+                ", "
+            } else {
+                ""
+            };
+            let _ = write!(json, "\"{jobs}\": {:.3}{sep}", r.serial_ms / t);
+        }
+        json.push_str("}\n");
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_compare.json", &json).expect("write BENCH_compare.json");
+    println!("wrote BENCH_compare.json");
+}

@@ -1,13 +1,28 @@
 //! Quick pipeline smoke test: one-shot phase timings and sizes for the
 //! real-life-sized policies and a sweep of independent pairs up to the
-//! paper's 3,000-rule headline — a fast sanity check before running the
-//! full `fig12`/`fig13` series.
+//! paper's 3,000-rule headline — a fast (< 5 s), fully deterministic
+//! sanity check before running the full `fig12`/`fig13` series. Every
+//! workload comes from fixed seeds, so the sizes, node counts and
+//! diff-cell counts in `BENCH_smoke.json` are reproducible run to run
+//! (only the timings vary with the machine).
 //!
 //! Run with: `cargo run --release -p fw-bench --bin smoke`
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-fn bench_pair(name: &str, a: &fw_model::Firewall, b: &fw_model::Firewall) {
+struct SmokeRow {
+    name: String,
+    construct_ms: f64,
+    product_ms: f64,
+    count_ms: f64,
+    nodes_a: usize,
+    nodes_b: usize,
+    product_nodes: usize,
+    cells: u128,
+}
+
+fn bench_pair(name: &str, a: &fw_model::Firewall, b: &fw_model::Firewall) -> SmokeRow {
     let t = Instant::now();
     let fa = fw_core::Fdd::from_firewall_fast(a).unwrap();
     let fb = fw_core::Fdd::from_firewall_fast(b).unwrap();
@@ -28,28 +43,67 @@ fn bench_pair(name: &str, a: &fw_model::Firewall, b: &fw_model::Firewall) {
         t_count,
         cells
     );
+    SmokeRow {
+        name: name.to_owned(),
+        construct_ms: t_con.as_secs_f64() * 1e3,
+        product_ms: t_prod.as_secs_f64() * 1e3,
+        count_ms: t_count.as_secs_f64() * 1e3,
+        nodes_a: fa.node_count(),
+        nodes_b: fb.node_count(),
+        product_nodes: prod.node_count(),
+        cells,
+    }
 }
 
 fn main() {
+    let started = Instant::now();
+    let mut rows = Vec::new();
+
     let avg = fw_synth::university_average();
-    bench_pair(
+    rows.push(bench_pair(
         "avg(42) vs perturbed",
         &avg,
         &fw_synth::perturb(&avg, 20, 1),
-    );
+    ));
 
     let large = fw_synth::university_large();
-    bench_pair(
+    rows.push(bench_pair(
         "large(661) vs perturbed",
         &large,
         &fw_synth::perturb(&large, 10, 1),
-    );
+    ));
 
     let mut s1 = fw_synth::Synthesizer::new(100);
     let mut s2 = fw_synth::Synthesizer::new(200);
     for n in [500usize, 1000, 2000, 3000] {
         let a = s1.firewall(n);
         let b = s2.firewall(n);
-        bench_pair(&format!("independent n={n}"), &a, &b);
+        rows.push(bench_pair(&format!("independent n={n}"), &a, &b));
     }
+
+    let mut json = String::from("{\n  \"pairs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"construct_ms\": {:.3}, \"product_ms\": {:.3}, \
+             \"count_ms\": {:.3}, \"nodes_a\": {}, \"nodes_b\": {}, \"product_nodes\": {}, \
+             \"diff_cells\": {}}}{sep}",
+            r.name,
+            r.construct_ms,
+            r.product_ms,
+            r.count_ms,
+            r.nodes_a,
+            r.nodes_b,
+            r.product_nodes,
+            r.cells
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"total_ms\": {:.3}\n}}",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    std::fs::write("BENCH_smoke.json", &json).expect("write BENCH_smoke.json");
+    println!("wrote BENCH_smoke.json in {:?}", started.elapsed());
 }

@@ -73,7 +73,7 @@ impl Fdd {
             fdd: Fdd::empty(schema),
             firewall,
             wild_from,
-            memo: HashMap::new(),
+            memo: HashMap::<(usize, Bits), NodeId>::new(),
             cons: HashMap::new(),
         };
         builder.truncate(0, &mut live);
@@ -85,7 +85,29 @@ impl Fdd {
 }
 
 /// A set of surviving rule indices, packed for cheap hashing and cloning.
-type Bits = Box<[u64]>;
+pub(crate) type Bits = Box<[u64]>;
+
+/// Pluggable memo backend for the fast constructor: `(field, survivor
+/// set)` → subdiagram. The default is a process-local [`HashMap`]; the
+/// abstraction mirrors [`crate::product::ProductSink`] so a shared
+/// (striped) table can be swapped in without touching the partitioning
+/// recursion.
+pub(crate) trait ConstructionMemo {
+    /// Looks up a completed subdiagram for this subproblem.
+    fn get(&self, field: usize, live: &Bits) -> Option<NodeId>;
+    /// Records a completed subdiagram for this subproblem.
+    fn put(&mut self, field: usize, live: &Bits, n: NodeId);
+}
+
+impl ConstructionMemo for HashMap<(usize, Bits), NodeId> {
+    fn get(&self, field: usize, live: &Bits) -> Option<NodeId> {
+        HashMap::get(self, &(field, live.clone())).copied()
+    }
+
+    fn put(&mut self, field: usize, live: &Bits, n: NodeId) {
+        self.insert((field, live.clone()), n);
+    }
+}
 
 fn first_bit(bits: &Bits) -> Option<usize> {
     for (w, &word) in bits.iter().enumerate() {
@@ -113,18 +135,18 @@ enum Sig {
     Internal(FieldId, Vec<((u64, u64), NodeId)>),
 }
 
-struct FastBuilder<'a> {
+struct FastBuilder<'a, M: ConstructionMemo> {
     fdd: Fdd,
     firewall: &'a Firewall,
     /// `wild_from[r][i]`: rule r matches everything from field i on.
     wild_from: Vec<Vec<bool>>,
     /// `(field, surviving rule bitset)` → subdiagram.
-    memo: HashMap<(usize, Bits), NodeId>,
+    memo: M,
     /// Structural hash-consing, as in reduction.
     cons: HashMap<Sig, NodeId>,
 }
 
-impl FastBuilder<'_> {
+impl<M: ConstructionMemo> FastBuilder<'_, M> {
     /// Clears every bit after the first rule that matches everything from
     /// `field` on: those rules can never be the first match in this cell.
     /// Canonicalising live sets this way multiplies memo hits.
@@ -171,7 +193,7 @@ impl FastBuilder<'_> {
             let decision = self.firewall.rules()[first].decision();
             return Ok(self.intern(Sig::Terminal(decision)));
         }
-        if let Some(&n) = self.memo.get(&(field, live.clone())) {
+        if let Some(n) = self.memo.get(field, live) {
             return Ok(n);
         }
         let fid = FieldId(field);
@@ -240,7 +262,7 @@ impl FastBuilder<'_> {
             sig_edges.sort_unstable();
             self.intern_internal(Sig::Internal(fid, sig_edges), fid, per_child)
         };
-        self.memo.insert((field, live.clone()), node);
+        self.memo.put(field, live, node);
         Ok(node)
     }
 

@@ -51,6 +51,7 @@ mod fast;
 mod fdd;
 mod impact;
 mod multiway;
+mod par;
 mod product;
 pub mod query;
 mod reduce;
@@ -64,7 +65,13 @@ pub use discrepancy::{coalesce, coalesce_multi, Discrepancy, MultiDiscrepancy};
 pub use error::CoreError;
 pub use fdd::{domain_label, label, Edge, Fdd, FddBuilder, NodeId, NodeView};
 pub use impact::{ChangeImpact, Edit};
-pub use multiway::{cross_compare, direct_compare, project_pair, shape_all, PairwiseDiscrepancies};
+pub use multiway::{
+    cross_compare, direct_compare, direct_compare_jobs, project_pair, shape_all,
+    PairwiseDiscrepancies,
+};
+pub use par::{
+    build_pair_parallel, compare_firewalls_parallel, diff_firewalls_parallel, diff_product_parallel,
+};
 pub use product::{diff_firewalls, diff_product, DiffProduct};
 pub use query::{any_match, query_fdd, query_firewall, QueryAnswer};
 pub use shape::{semi_isomorphic, shape_pair};

@@ -1,0 +1,514 @@
+//! **Parallel sharded comparison engine**: the synchronized product of
+//! §5, decomposed into independent subtree shards executed by a pool of
+//! scoped worker threads.
+//!
+//! The serial engine ([`crate::diff_product`]) walks the overlay of two
+//! reduced FDDs once per distinct node pair. That walk is embarrassingly
+//! decomposable: the children of the root overlay are disjoint first-field
+//! cells, and each `(node_a, node_b)` pair below them is a self-contained
+//! subproblem. This module exploits that:
+//!
+//! 1. **Shard discovery** — a breadth-first expansion of the root overlay
+//!    (first-field cells, then deeper) until at least `4 × jobs` distinct
+//!    node pairs are on the frontier. Breadth-first keeps shards shallow
+//!    and therefore coarse, so per-task overhead stays negligible.
+//! 2. **Sharded execution** — `jobs` scoped worker threads drain the task
+//!    list through an atomic cursor (idle workers steal the next unstarted
+//!    shard). Each worker runs the *same* memoised recursion as the serial
+//!    engine ([`crate::product::product_rec`]) against a [`ShardSink`]:
+//!    a private append-only node arena plus a **lock-striped memo table
+//!    shared across workers**, so an overlay subproblem reachable from two
+//!    shards is computed once, not once per shard. Results are published
+//!    to the shared table only after the subproduct is complete, so a
+//!    cross-worker memo hit always refers to finished work.
+//! 3. **Assembly** — the main thread re-runs the recursion from the roots
+//!    (every frontier pair now hits the warm memo table) and then flattens
+//!    the per-worker arenas into one canonical, hash-consed
+//!    [`DiffProduct`]. Duplicate subproducts from benign races collapse
+//!    during this global re-consing, so the result is structurally
+//!    identical to the serial engine's output — same discrepancies, in
+//!    the same order.
+//!
+//! `jobs == 0` means "use all available cores"; `jobs == 1` falls back to
+//! the serial engine with zero threading overhead.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use fw_model::{Decision, FieldId, Firewall, IntervalSet, Schema};
+
+use crate::discrepancy::Discrepancy;
+use crate::fdd::{Fdd, NodeId};
+use crate::product::{overlay_cells, product_rec, DiffProduct, PId, PNode, ProductSink};
+use crate::CoreError;
+
+/// Global node reference: worker id in the high 32 bits, index into that
+/// worker's arena in the low 32 bits. Worker 0 is the assembly pass on
+/// the main thread.
+type GRef = u64;
+
+fn pack(worker: u32, idx: u32) -> GRef {
+    (u64::from(worker) << 32) | u64::from(idx)
+}
+
+fn unpack(r: GRef) -> (usize, usize) {
+    ((r >> 32) as usize, (r & 0xFFFF_FFFF) as usize)
+}
+
+/// A product node whose children are cross-worker [`GRef`]s instead of
+/// local arena indices.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ParNode {
+    Terminal(Decision, Decision),
+    Internal {
+        field: FieldId,
+        edges: Vec<(IntervalSet, GRef)>,
+    },
+}
+
+/// The lock-striped memo table shared by all shards: `(node_a, node_b)`
+/// pair → completed subproduct. Striping by pair hash keeps contention
+/// proportional to `1 / stripes` rather than serialising every lookup on
+/// one lock.
+struct SharedMemo {
+    stripes: Vec<Mutex<HashMap<(NodeId, NodeId), GRef>>>,
+    mask: u64,
+}
+
+impl SharedMemo {
+    fn new(want: usize) -> SharedMemo {
+        let n = want.next_power_of_two().max(2);
+        SharedMemo {
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn stripe(&self, key: (NodeId, NodeId)) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() & self.mask) as usize
+    }
+
+    fn get(&self, key: (NodeId, NodeId)) -> Option<GRef> {
+        self.stripes[self.stripe(key)].lock().get(&key).copied()
+    }
+
+    /// First writer wins; a racing duplicate stays in its worker's arena
+    /// and is collapsed by the global re-consing during assembly.
+    fn put(&self, key: (NodeId, NodeId), r: GRef) {
+        self.stripes[self.stripe(key)]
+            .lock()
+            .entry(key)
+            .or_insert(r);
+    }
+}
+
+/// Per-worker sink: private arena + private hash-cons table, backed by
+/// the shared striped memo. A worker-local memo layer in front of the
+/// shared table turns repeat hits within one shard into lock-free reads.
+struct ShardSink<'m> {
+    worker: u32,
+    nodes: Vec<ParNode>,
+    cons: HashMap<ParNode, u32>,
+    local_memo: HashMap<(NodeId, NodeId), GRef>,
+    shared: &'m SharedMemo,
+}
+
+impl<'m> ShardSink<'m> {
+    fn new(worker: u32, shared: &'m SharedMemo) -> ShardSink<'m> {
+        ShardSink {
+            worker,
+            nodes: Vec::new(),
+            cons: HashMap::new(),
+            local_memo: HashMap::new(),
+            shared,
+        }
+    }
+
+    fn intern(&mut self, node: ParNode) -> GRef {
+        if let Some(&idx) = self.cons.get(&node) {
+            return pack(self.worker, idx);
+        }
+        let idx = u32::try_from(self.nodes.len()).expect("shard arena exceeds u32 indices");
+        self.nodes.push(node.clone());
+        self.cons.insert(node, idx);
+        pack(self.worker, idx)
+    }
+}
+
+impl ProductSink for ShardSink<'_> {
+    type Ref = GRef;
+
+    fn memo_get(&mut self, key: (NodeId, NodeId)) -> Option<GRef> {
+        if let Some(&r) = self.local_memo.get(&key) {
+            return Some(r);
+        }
+        let r = self.shared.get(key)?;
+        self.local_memo.insert(key, r);
+        Some(r)
+    }
+
+    fn memo_put(&mut self, key: (NodeId, NodeId), r: GRef) {
+        self.local_memo.insert(key, r);
+        self.shared.put(key, r);
+    }
+
+    fn intern_terminal(&mut self, da: Decision, db: Decision) -> GRef {
+        self.intern(ParNode::Terminal(da, db))
+    }
+
+    fn intern_internal(&mut self, field: FieldId, edges: Vec<(IntervalSet, GRef)>) -> GRef {
+        self.intern(ParNode::Internal { field, edges })
+    }
+}
+
+/// Resolves a `jobs` request: `0` → all available cores, otherwise as
+/// given.
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Breadth-first shard discovery: expands overlay node pairs from the
+/// roots until at least `target` distinct pairs are available (or the
+/// overlay is exhausted). Returns the frontier as an ordered task list.
+fn shard_tasks(a: &Fdd, b: &Fdd, target: usize) -> Vec<(NodeId, NodeId)> {
+    let mut frontier: VecDeque<(NodeId, NodeId)> = VecDeque::new();
+    let mut leaves: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+    frontier.push_back((a.root(), b.root()));
+    seen.insert((a.root(), b.root()));
+    while frontier.len() + leaves.len() < target {
+        let Some((va, vb)) = frontier.pop_front() else {
+            break;
+        };
+        match overlay_cells(a, b, va, vb) {
+            None => leaves.push((va, vb)),
+            Some((_, cells)) => {
+                for (_, ta, tb) in cells {
+                    if seen.insert((ta, tb)) {
+                        frontier.push_back((ta, tb));
+                    }
+                }
+            }
+        }
+    }
+    frontier.into_iter().chain(leaves).collect()
+}
+
+/// Flattens the per-worker arenas into one canonical arena, re-consing
+/// globally so structurally identical subproducts computed by different
+/// workers (benign races) collapse to one node — exactly the shape the
+/// serial engine produces.
+struct Flattener<'x> {
+    arenas: &'x [Vec<ParNode>],
+    nodes: Vec<PNode>,
+    cons: HashMap<PNode, PId>,
+    memo: HashMap<GRef, PId>,
+}
+
+impl Flattener<'_> {
+    fn intern(&mut self, node: PNode) -> PId {
+        if let Some(&id) = self.cons.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("product exceeds u32 indices");
+        self.nodes.push(node.clone());
+        self.cons.insert(node, id);
+        id
+    }
+
+    // Depth is bounded by the schema's field count, so plain recursion
+    // is safe here.
+    fn flatten(&mut self, r: GRef) -> PId {
+        if let Some(&id) = self.memo.get(&r) {
+            return id;
+        }
+        let (w, i) = unpack(r);
+        let node = self.arenas[w][i].clone();
+        let id = match node {
+            ParNode::Terminal(x, y) => self.intern(PNode::Terminal(x, y)),
+            ParNode::Internal { field, edges } => {
+                // Re-merge: children distinct as GRefs may collapse to one
+                // PId after global consing; restore the serial invariants
+                // (merged labels, min-value edge order, single-child
+                // elision).
+                let mut per_child: Vec<(PId, IntervalSet)> = Vec::new();
+                for (label, child) in edges {
+                    let c = self.flatten(child);
+                    match per_child.iter_mut().find(|(p, _)| *p == c) {
+                        Some((_, set)) => *set = set.union(&label),
+                        None => per_child.push((c, label)),
+                    }
+                }
+                if per_child.len() == 1 {
+                    per_child.pop().expect("len checked").0
+                } else {
+                    per_child.sort_by_key(|(_, set)| set.min_value());
+                    let edges = per_child.into_iter().map(|(c, s)| (s, c)).collect();
+                    self.intern(PNode::Internal { field, edges })
+                }
+            }
+        };
+        self.memo.insert(r, id);
+        id
+    }
+}
+
+/// Builds the synchronized product of two valid FDDs in parallel across
+/// `jobs` worker threads (0 = all available cores, 1 = serial engine).
+///
+/// Produces a [`DiffProduct`] structurally identical to
+/// [`crate::diff_product`] — same discrepancy set, same order.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SchemaMismatch`] if the schemas differ.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (none are expected; the engine
+/// itself does not panic on valid FDDs).
+pub fn diff_product_parallel(a: &Fdd, b: &Fdd, jobs: usize) -> Result<DiffProduct, CoreError> {
+    if a.schema() != b.schema() {
+        return Err(CoreError::SchemaMismatch);
+    }
+    let jobs = resolve_jobs(jobs);
+    if jobs <= 1 {
+        return crate::product::diff_product(a, b);
+    }
+    let tasks = shard_tasks(a, b, jobs * 4);
+    let shared = SharedMemo::new(jobs * 8);
+    let cursor = AtomicUsize::new(0);
+    let arenas: Mutex<Vec<(u32, Vec<ParNode>)>> = Mutex::new(Vec::new());
+    {
+        let tasks = &tasks;
+        let shared = &shared;
+        let cursor = &cursor;
+        let arenas = &arenas;
+        crossbeam::scope(|s| {
+            for w in 1..=jobs as u32 {
+                s.spawn(move |_| {
+                    let mut sink = ShardSink::new(w, shared);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(va, vb)) = tasks.get(i) else {
+                            break;
+                        };
+                        product_rec(a, b, va, vb, &mut sink);
+                    }
+                    arenas.lock().push((w, sink.nodes));
+                });
+            }
+        })
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    }
+    // Assembly: the recursion from the roots now hits the warm memo at
+    // every frontier pair, so this pass only stitches the top of the
+    // diagram together.
+    let mut sink = ShardSink::new(0, &shared);
+    let root = product_rec(a, b, a.root(), b.root(), &mut sink);
+    let mut by_worker: Vec<Vec<ParNode>> = vec![Vec::new(); jobs + 1];
+    by_worker[0] = sink.nodes;
+    for (w, nodes) in arenas.into_inner() {
+        by_worker[w as usize] = nodes;
+    }
+    Ok(flatten_arenas(a.schema().clone(), &by_worker, root))
+}
+
+fn flatten_arenas(schema: Schema, arenas: &[Vec<ParNode>], root: GRef) -> DiffProduct {
+    let mut f = Flattener {
+        arenas,
+        nodes: Vec::new(),
+        cons: HashMap::new(),
+        memo: HashMap::new(),
+    };
+    let root = f.flatten(root);
+    DiffProduct::from_parts(schema, f.nodes, root)
+}
+
+/// Builds both FDDs concurrently (one construction per thread when
+/// `jobs >= 2`), the parallel counterpart of running
+/// [`Fdd::from_firewall_fast`] twice.
+///
+/// # Errors
+///
+/// As for [`Fdd::from_firewall_fast`] on either input.
+pub fn build_pair_parallel(
+    a: &Firewall,
+    b: &Firewall,
+    jobs: usize,
+) -> Result<(Fdd, Fdd), CoreError> {
+    if resolve_jobs(jobs) <= 1 {
+        return Ok((Fdd::from_firewall_fast(a)?, Fdd::from_firewall_fast(b)?));
+    }
+    let (ra, rb) = crossbeam::scope(|s| {
+        let hb = s.spawn(|_| Fdd::from_firewall_fast(b));
+        let ra = Fdd::from_firewall_fast(a);
+        let rb = hb.join().expect("scoped builder thread panicked");
+        (ra, rb)
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    Ok((ra?, rb?))
+}
+
+/// The fully parallel fast pipeline: concurrent FDD construction followed
+/// by the sharded synchronized product.
+///
+/// # Errors
+///
+/// As for [`crate::diff_firewalls`].
+pub fn diff_firewalls_parallel(
+    a: &Firewall,
+    b: &Firewall,
+    jobs: usize,
+) -> Result<DiffProduct, CoreError> {
+    if a.schema() != b.schema() {
+        return Err(CoreError::SchemaMismatch);
+    }
+    let (fa, fb) = build_pair_parallel(a, b, jobs)?;
+    diff_product_parallel(&fa, &fb, jobs)
+}
+
+/// Compares two firewalls with the parallel sharded engine, returning the
+/// same coalesced discrepancy set as [`crate::compare_firewalls`].
+///
+/// `jobs == 0` uses all available cores; `jobs == 1` is the serial fast
+/// pipeline.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_core::CoreError> {
+/// use fw_core::{compare_firewalls, compare_firewalls_parallel};
+/// use fw_model::paper;
+///
+/// let serial = compare_firewalls(&paper::team_a(), &paper::team_b())?;
+/// let parallel = compare_firewalls_parallel(&paper::team_a(), &paper::team_b(), 4)?;
+/// assert_eq!(serial, parallel);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// As for [`crate::compare_firewalls`].
+pub fn compare_firewalls_parallel(
+    a: &Firewall,
+    b: &Firewall,
+    jobs: usize,
+) -> Result<Vec<Discrepancy>, CoreError> {
+    Ok(diff_firewalls_parallel(a, b, jobs)?.discrepancies())
+}
+
+impl std::fmt::Debug for ParNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParNode::Terminal(x, y) => write!(f, "T({x:?},{y:?})"),
+            ParNode::Internal { field, edges } => {
+                write!(f, "N(f{}, {} edges)", field.index(), edges.len())
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedMemo({} stripes)", self.stripes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, FieldDef};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 4).unwrap(),
+            FieldDef::new("b", 4).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_paper_example() {
+        let serial = crate::compare_firewalls(&paper::team_a(), &paper::team_b()).unwrap();
+        for jobs in [0, 1, 2, 3, 8] {
+            let par = compare_firewalls_parallel(&paper::team_a(), &paper::team_b(), jobs).unwrap();
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_product_is_structurally_canonical() {
+        let a = fw_model::Firewall::parse(
+            tiny_schema(),
+            "a=0-7, b=3-12 -> discard\na=4-11 -> accept\n* -> discard\n",
+        )
+        .unwrap();
+        let b = fw_model::Firewall::parse(
+            tiny_schema(),
+            "b=0-2 -> accept\na=9-15 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let serial = crate::diff_firewalls(&a, &b).unwrap();
+        let par = diff_firewalls_parallel(&a, &b, 4).unwrap();
+        assert_eq!(serial.node_count(), par.node_count());
+        assert_eq!(serial.cell_count(), par.cell_count());
+        assert_eq!(serial.packet_count(), par.packet_count());
+        assert_eq!(serial.raw_discrepancies(), par.raw_discrepancies());
+    }
+
+    #[test]
+    fn parallel_equivalence_detection() {
+        let f1 = fw_model::Firewall::parse(
+            tiny_schema(),
+            "a=0-7 -> accept\na=8-15 -> discard\n* -> accept\n",
+        )
+        .unwrap();
+        let f2 =
+            fw_model::Firewall::parse(tiny_schema(), "a=8-15 -> discard\n* -> accept\n").unwrap();
+        let prod = diff_firewalls_parallel(&f1, &f2, 4).unwrap();
+        assert!(prod.is_equivalent());
+        assert!(prod.discrepancies().is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let other = Schema::new(vec![FieldDef::new("x", 4).unwrap()]).unwrap();
+        let a = fw_model::Firewall::parse(tiny_schema(), "* -> accept\n").unwrap();
+        let b = fw_model::Firewall::parse(other, "* -> accept\n").unwrap();
+        assert!(matches!(
+            compare_firewalls_parallel(&a, &b, 4),
+            Err(CoreError::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn shard_discovery_covers_overlay() {
+        let fa = Fdd::from_firewall_fast(&paper::team_a()).unwrap();
+        let fb = Fdd::from_firewall_fast(&paper::team_b()).unwrap();
+        let tasks = shard_tasks(&fa, &fb, 16);
+        assert!(!tasks.is_empty());
+        // No duplicate pairs.
+        let set: HashSet<_> = tasks.iter().collect();
+        assert_eq!(set.len(), tasks.len());
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -24,10 +24,10 @@ use crate::fdd::{Fdd, Node, NodeId};
 use crate::CoreError;
 
 /// Index into a [`DiffProduct`] arena.
-type PId = u32;
+pub(crate) type PId = u32;
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum PNode {
+pub(crate) enum PNode {
     Terminal(Decision, Decision),
     Internal {
         field: FieldId,
@@ -71,17 +71,11 @@ pub fn diff_product(a: &Fdd, b: &Fdd) -> Result<DiffProduct, CoreError> {
     if a.schema() != b.schema() {
         return Err(CoreError::SchemaMismatch);
     }
-    let mut builder = ProductBuilder {
-        a,
-        b,
-        nodes: Vec::new(),
-        cons: HashMap::new(),
-        memo: HashMap::new(),
-    };
-    let root = builder.product(a.root(), b.root());
+    let mut sink = LocalSink::default();
+    let root = product_rec(a, b, a.root(), b.root(), &mut sink);
     Ok(DiffProduct {
         schema: a.schema().clone(),
-        nodes: builder.nodes,
+        nodes: sink.nodes,
         root,
     })
 }
@@ -102,15 +96,42 @@ pub fn diff_firewalls(a: &Firewall, b: &Firewall) -> Result<DiffProduct, CoreErr
     diff_product(&fa, &fb)
 }
 
-struct ProductBuilder<'x> {
-    a: &'x Fdd,
-    b: &'x Fdd,
-    nodes: Vec<PNode>,
+/// Where the synchronized-product recursion stores its results: a memo
+/// table over `(NodeId, NodeId)` pairs plus a hash-consing node interner.
+///
+/// The recursion itself ([`product_rec`]) is written once against this
+/// trait; the serial builder plugs in a plain [`HashMap`]-backed
+/// [`LocalSink`], while the parallel engine (`crate::par`) plugs in a
+/// sink whose memo is a lock-striped table shared across worker shards.
+pub(crate) trait ProductSink {
+    /// Handle to an interned product node. For the serial sink this is a
+    /// [`PId`]; the parallel sink packs `(worker, local index)`.
+    type Ref: Copy + Eq;
+
+    /// Looks up a previously completed product for this node pair.
+    fn memo_get(&mut self, key: (NodeId, NodeId)) -> Option<Self::Ref>;
+    /// Publishes a completed product for this node pair.
+    fn memo_put(&mut self, key: (NodeId, NodeId), r: Self::Ref);
+    /// Interns a terminal carrying the pair of decisions.
+    fn intern_terminal(&mut self, da: Decision, db: Decision) -> Self::Ref;
+    /// Interns an internal node; `edges` partition the field's domain and
+    /// are already sorted by minimum value.
+    fn intern_internal(
+        &mut self,
+        field: FieldId,
+        edges: Vec<(IntervalSet, Self::Ref)>,
+    ) -> Self::Ref;
+}
+
+/// Serial sink: process-local memo + hash-cons tables, arena of [`PNode`]s.
+#[derive(Default)]
+pub(crate) struct LocalSink {
+    pub(crate) nodes: Vec<PNode>,
     cons: HashMap<PNode, PId>,
     memo: HashMap<(NodeId, NodeId), PId>,
 }
 
-impl ProductBuilder<'_> {
+impl LocalSink {
     fn intern(&mut self, node: PNode) -> PId {
         if let Some(&id) = self.cons.get(&node) {
             return id;
@@ -120,65 +141,120 @@ impl ProductBuilder<'_> {
         self.cons.insert(node, id);
         id
     }
+}
 
-    fn product(&mut self, va: NodeId, vb: NodeId) -> PId {
-        if let Some(&id) = self.memo.get(&(va, vb)) {
-            return id;
+impl ProductSink for LocalSink {
+    type Ref = PId;
+
+    fn memo_get(&mut self, key: (NodeId, NodeId)) -> Option<PId> {
+        self.memo.get(&key).copied()
+    }
+
+    fn memo_put(&mut self, key: (NodeId, NodeId), r: PId) {
+        self.memo.insert(key, r);
+    }
+
+    fn intern_terminal(&mut self, da: Decision, db: Decision) -> PId {
+        self.intern(PNode::Terminal(da, db))
+    }
+
+    fn intern_internal(&mut self, field: FieldId, edges: Vec<(IntervalSet, PId)>) -> PId {
+        self.intern(PNode::Internal { field, edges })
+    }
+}
+
+/// One overlay cell: a non-empty intersection of two edge labels and the
+/// child pair it leads to.
+pub(crate) type OverlayCell = (IntervalSet, NodeId, NodeId);
+
+/// Computes the overlay step at one node pair: the field the product
+/// branches on and the non-empty pairwise cells with their child pairs.
+///
+/// Returns `None` when both nodes are terminal (the recursion bottom).
+/// A node ranked after the chosen field behaves as a single full-domain
+/// self-edge — the paper's node-insertion step, performed virtually.
+pub(crate) fn overlay_cells(
+    a: &Fdd,
+    b: &Fdd,
+    va: NodeId,
+    vb: NodeId,
+) -> Option<(FieldId, Vec<OverlayCell>)> {
+    let d = a.schema().len();
+    let rank_a = match a.node(va) {
+        Node::Terminal(_) => d,
+        Node::Internal { field, .. } => field.index(),
+    };
+    let rank_b = match b.node(vb) {
+        Node::Terminal(_) => d,
+        Node::Internal { field, .. } => field.index(),
+    };
+    if rank_a == d && rank_b == d {
+        return None;
+    }
+    let field = FieldId(rank_a.min(rank_b));
+    let domain = IntervalSet::from_interval(a.schema().field(field).domain());
+    let edges_a: Vec<(IntervalSet, NodeId)> = if rank_a == field.index() {
+        match a.node(va) {
+            Node::Internal { edges, .. } => edges
+                .iter()
+                .map(|e| (e.label().clone(), e.target()))
+                .collect(),
+            Node::Terminal(_) => unreachable!("rank checked"),
         }
-        let d = self.a.schema().len();
-        let rank_a = match self.a.node(va) {
-            Node::Terminal(_) => d,
-            Node::Internal { field, .. } => field.index(),
-        };
-        let rank_b = match self.b.node(vb) {
-            Node::Terminal(_) => d,
-            Node::Internal { field, .. } => field.index(),
-        };
-        let id = if rank_a == d && rank_b == d {
-            let da = self.a.terminal_decision(va).expect("rank d is terminal");
-            let db = self.b.terminal_decision(vb).expect("rank d is terminal");
-            self.intern(PNode::Terminal(da, db))
-        } else {
-            let field = FieldId(rank_a.min(rank_b));
-            let domain = IntervalSet::from_interval(self.a.schema().field(field).domain());
-            // Edge lists; a node ranked after `field` behaves as a single
-            // full-domain self-edge (the paper's node-insertion step).
-            let edges_a: Vec<(IntervalSet, NodeId)> = if rank_a == field.index() {
-                match self.a.node(va) {
-                    Node::Internal { edges, .. } => edges
-                        .iter()
-                        .map(|e| (e.label().clone(), e.target()))
-                        .collect(),
-                    Node::Terminal(_) => unreachable!("rank checked"),
-                }
-            } else {
-                vec![(domain.clone(), va)]
-            };
-            let edges_b: Vec<(IntervalSet, NodeId)> = if rank_b == field.index() {
-                match self.b.node(vb) {
-                    Node::Internal { edges, .. } => edges
-                        .iter()
-                        .map(|e| (e.label().clone(), e.target()))
-                        .collect(),
-                    Node::Terminal(_) => unreachable!("rank checked"),
-                }
-            } else {
-                vec![(domain, vb)]
-            };
-            // Pairwise overlay: both lists partition the domain, so the
-            // non-empty pairwise intersections partition it too.
-            let mut per_child: Vec<(PId, IntervalSet)> = Vec::new();
-            for (la, ta) in &edges_a {
-                for (lb, tb) in &edges_b {
-                    let cell = la.intersect(lb);
-                    if cell.is_empty() {
-                        continue;
-                    }
-                    let child = self.product(*ta, *tb);
-                    match per_child.iter_mut().find(|(c, _)| *c == child) {
-                        Some((_, set)) => *set = set.union(&cell),
-                        None => per_child.push((child, cell)),
-                    }
+    } else {
+        vec![(domain.clone(), va)]
+    };
+    let edges_b: Vec<(IntervalSet, NodeId)> = if rank_b == field.index() {
+        match b.node(vb) {
+            Node::Internal { edges, .. } => edges
+                .iter()
+                .map(|e| (e.label().clone(), e.target()))
+                .collect(),
+            Node::Terminal(_) => unreachable!("rank checked"),
+        }
+    } else {
+        vec![(domain, vb)]
+    };
+    // Pairwise overlay: both lists partition the domain, so the non-empty
+    // pairwise intersections partition it too.
+    let mut cells = Vec::with_capacity(edges_a.len() + edges_b.len());
+    for (la, ta) in &edges_a {
+        for (lb, tb) in &edges_b {
+            let cell = la.intersect(lb);
+            if !cell.is_empty() {
+                cells.push((cell, *ta, *tb));
+            }
+        }
+    }
+    Some((field, cells))
+}
+
+/// The memoised synchronized-product recursion, generic over the memo /
+/// interner backend so the serial and sharded-parallel builders share one
+/// implementation.
+pub(crate) fn product_rec<S: ProductSink>(
+    a: &Fdd,
+    b: &Fdd,
+    va: NodeId,
+    vb: NodeId,
+    sink: &mut S,
+) -> S::Ref {
+    if let Some(r) = sink.memo_get((va, vb)) {
+        return r;
+    }
+    let r = match overlay_cells(a, b, va, vb) {
+        None => {
+            let da = a.terminal_decision(va).expect("both-terminal case");
+            let db = b.terminal_decision(vb).expect("both-terminal case");
+            sink.intern_terminal(da, db)
+        }
+        Some((field, cells)) => {
+            let mut per_child: Vec<(S::Ref, IntervalSet)> = Vec::new();
+            for (cell, ta, tb) in cells {
+                let child = product_rec(a, b, ta, tb, sink);
+                match per_child.iter_mut().find(|(c, _)| *c == child) {
+                    Some((_, set)) => *set = set.union(&cell),
+                    None => per_child.push((child, cell)),
                 }
             }
             if per_child.len() == 1 {
@@ -186,15 +262,26 @@ impl ProductBuilder<'_> {
             } else {
                 per_child.sort_by_key(|(_, set)| set.min_value());
                 let edges = per_child.into_iter().map(|(c, s)| (s, c)).collect();
-                self.intern(PNode::Internal { field, edges })
+                sink.intern_internal(field, edges)
             }
-        };
-        self.memo.insert((va, vb), id);
-        id
-    }
+        }
+    };
+    sink.memo_put((va, vb), r);
+    r
 }
 
 impl DiffProduct {
+    /// Assembles a product from an already-built arena (used by the
+    /// parallel engine's flatten step). The caller guarantees the arena
+    /// is hash-consed and `root` is in range.
+    pub(crate) fn from_parts(schema: Schema, nodes: Vec<PNode>, root: PId) -> DiffProduct {
+        DiffProduct {
+            schema,
+            nodes,
+            root,
+        }
+    }
+
     /// The common schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

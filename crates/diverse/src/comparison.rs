@@ -1,6 +1,8 @@
 //! The **comparison phase** (paper §2, phase 2): detect all functional
 //! discrepancies among the versions the design teams produced.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use fw_core::{Discrepancy, MultiDiscrepancy};
 use fw_model::{Firewall, Packet};
 use parking_lot::Mutex;
@@ -39,6 +41,22 @@ impl Comparison {
     /// non-comprehensive versions, or fewer than two versions.
     pub fn of(versions: Vec<Firewall>) -> Result<Comparison, DiverseError> {
         let discrepancies = fw_core::direct_compare(&versions)?;
+        Ok(Comparison {
+            versions,
+            discrepancies,
+        })
+    }
+
+    /// [`Comparison::of`] with a thread budget: the two-version case runs
+    /// the sharded parallel product engine across `jobs` workers (0 = all
+    /// cores, 1 = serial). Produces exactly the same discrepancy set as
+    /// the serial phase.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Comparison::of`].
+    pub fn of_with_jobs(versions: Vec<Firewall>, jobs: usize) -> Result<Comparison, DiverseError> {
+        let discrepancies = fw_core::direct_compare_jobs(&versions, jobs)?;
         Ok(Comparison {
             versions,
             discrepancies,
@@ -85,28 +103,61 @@ impl Comparison {
 pub fn cross_compare_parallel(
     versions: &[Firewall],
 ) -> Result<fw_core::PairwiseDiscrepancies, DiverseError> {
+    cross_compare_parallel_jobs(versions, 0)
+}
+
+/// [`cross_compare_parallel`] with an explicit thread budget. `jobs`
+/// worker threads (0 = all available cores) drain the pair queue; when
+/// there are fewer pairs than workers, the surplus is spent *inside*
+/// each comparison via the sharded product engine
+/// ([`fw_core::compare_firewalls_parallel`]), so a two-version cross
+/// comparison still uses the full budget.
+///
+/// # Errors
+///
+/// As for [`fw_core::cross_compare`] (the first error encountered wins).
+pub fn cross_compare_parallel_jobs(
+    versions: &[Firewall],
+    jobs: usize,
+) -> Result<fw_core::PairwiseDiscrepancies, DiverseError> {
     if versions.len() < 2 {
         return Err(DiverseError::Core(fw_core::CoreError::Invariant(
             "need at least two versions to compare".to_owned(),
         )));
     }
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
     let pairs: Vec<(usize, usize)> = (0..versions.len())
         .flat_map(|i| ((i + 1)..versions.len()).map(move |j| (i, j)))
         .collect();
+    // Outer fan-out over pairs; leftover budget goes to intra-pair shards.
+    let workers = jobs.min(pairs.len()).max(1);
+    let intra = (jobs / workers).max(1);
+    let cursor = AtomicUsize::new(0);
     let results: Mutex<fw_core::PairwiseDiscrepancies> =
         Mutex::new(Vec::with_capacity(pairs.len()));
     let first_error: Mutex<Option<fw_core::CoreError>> = Mutex::new(None);
     crossbeam::thread::scope(|s| {
-        for &(i, j) in &pairs {
+        for _ in 0..workers {
+            let pairs = &pairs;
+            let cursor = &cursor;
             let results = &results;
             let first_error = &first_error;
-            let (a, b) = (&versions[i], &versions[j]);
-            s.spawn(move |_| match fw_core::compare_firewalls(a, b) {
-                Ok(ds) => results.lock().push(((i, j), ds)),
-                Err(e) => {
-                    let mut slot = first_error.lock();
-                    if slot.is_none() {
-                        *slot = Some(e);
+            s.spawn(move |_| {
+                while let Some(&(i, j)) = pairs.get(cursor.fetch_add(1, Ordering::Relaxed)) {
+                    match fw_core::compare_firewalls_parallel(&versions[i], &versions[j], intra) {
+                        Ok(ds) => results.lock().push(((i, j), ds)),
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
                     }
                 }
             });
@@ -154,6 +205,22 @@ mod tests {
         for ((pk, pv), (sk, sv)) in parallel.iter().zip(&serial) {
             assert_eq!(pk, sk);
             assert_eq!(pv.len(), sv.len());
+        }
+    }
+
+    #[test]
+    fn jobs_variants_match_serial() {
+        let serial = Comparison::of(vec![paper::team_a(), paper::team_b()]).unwrap();
+        for jobs in [0, 1, 2, 8] {
+            let par =
+                Comparison::of_with_jobs(vec![paper::team_a(), paper::team_b()], jobs).unwrap();
+            assert_eq!(serial.discrepancies(), par.discrepancies(), "jobs={jobs}");
+        }
+        let versions = vec![paper::team_a(), paper::team_b(), paper::team_a()];
+        let serial = fw_core::cross_compare(&versions).unwrap();
+        for jobs in [1, 2, 8] {
+            let par = cross_compare_parallel_jobs(&versions, jobs).unwrap();
+            assert_eq!(serial, par, "jobs={jobs}");
         }
     }
 

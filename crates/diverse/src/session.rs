@@ -47,10 +47,21 @@ pub struct TeamScore {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DesignSession {
     names: Vec<String>,
     versions: Vec<Firewall>,
+    jobs: usize,
+}
+
+impl Default for DesignSession {
+    fn default() -> DesignSession {
+        DesignSession {
+            names: Vec::new(),
+            versions: Vec::new(),
+            jobs: 1,
+        }
+    }
 }
 
 impl DesignSession {
@@ -67,18 +78,34 @@ impl DesignSession {
         self
     }
 
+    /// Sets the thread budget for the comparison phase: `0` uses all
+    /// available cores, `1` (the default) runs serially, `n > 1` runs the
+    /// sharded parallel comparison engine across `n` workers. The
+    /// discrepancy set is identical either way.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> DesignSession {
+        self.jobs = jobs;
+        self
+    }
+
     /// Number of registered teams.
     pub fn team_count(&self) -> usize {
         self.versions.len()
     }
 
-    /// Runs the comparison phase.
+    /// Runs the comparison phase (across the configured [`jobs`] budget).
+    ///
+    /// [`jobs`]: DesignSession::jobs
     ///
     /// # Errors
     ///
     /// As for [`Comparison::of`] (needs ≥ 2 teams with one schema).
     pub fn compare(self) -> Result<ComparedSession, DiverseError> {
-        let comparison = Comparison::of(self.versions)?;
+        let comparison = if self.jobs == 1 {
+            Comparison::of(self.versions)?
+        } else {
+            Comparison::of_with_jobs(self.versions, self.jobs)?
+        };
         Ok(ComparedSession {
             names: self.names,
             comparison,
@@ -259,6 +286,21 @@ mod tests {
             s.resolve_with(vec![Decision::Accept]),
             Err(DiverseError::ResolutionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_session_matches_serial() {
+        let serial = compared();
+        let parallel = DesignSession::new()
+            .team("A", paper::team_a())
+            .team("B", paper::team_b())
+            .jobs(4)
+            .compare()
+            .unwrap();
+        assert_eq!(
+            serial.comparison().discrepancies(),
+            parallel.comparison().discrepancies()
+        );
     }
 
     #[test]

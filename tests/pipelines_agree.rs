@@ -1,11 +1,14 @@
-//! Cross-validation of the two comparison pipelines (paper-literal tree
-//! shaping vs memoised synchronized product) and of the two multi-version
-//! comparison modes (cross vs direct, §7.3), on generated workloads.
+//! Cross-validation of the comparison pipelines (paper-literal tree
+//! shaping vs memoised synchronized product vs the sharded parallel
+//! engine) and of the two multi-version comparison modes (cross vs
+//! direct, §7.3), on generated workloads and an exhaustive oracle.
 
 use diverse_firewall::core::{
-    compare_firewalls, compare_firewalls_via_shaping, cross_compare, direct_compare, project_pair,
+    compare_firewalls, compare_firewalls_parallel, compare_firewalls_via_shaping, cross_compare,
+    direct_compare, project_pair,
 };
 use diverse_firewall::synth::{perturb, PacketTrace, Synthesizer};
+use proptest::prelude::*;
 
 #[test]
 fn literal_and_product_pipelines_agree_on_synthetic_pairs() {
@@ -82,6 +85,118 @@ fn cross_and_direct_comparison_agree_for_three_versions() {
             );
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: on random synthesized pairs, the parallel sharded engine
+    /// produces the *identical* discrepancy list (same regions, same
+    /// order) as the serial product pipeline, for every thread count.
+    #[test]
+    fn parallel_engine_matches_serial_on_random_pairs(
+        seed_a in 0u64..10_000,
+        seed_b in 10_000u64..20_000,
+        rules_a in 2usize..24,
+        rules_b in 2usize..24,
+    ) {
+        let a = Synthesizer::new(seed_a).firewall(rules_a);
+        let b = Synthesizer::new(seed_b).firewall(rules_b);
+        let serial = compare_firewalls(&a, &b).unwrap();
+        for jobs in [1usize, 2, 8] {
+            let parallel = compare_firewalls_parallel(&a, &b, jobs).unwrap();
+            prop_assert_eq!(&serial, &parallel, "jobs={}", jobs);
+        }
+    }
+
+    /// Property: the parallel engine, the serial product and the
+    /// paper-literal shaping pipeline all describe the same disagreement
+    /// space with the same decisions (shaping may partition regions
+    /// differently, so agreement is witness-checked both ways).
+    #[test]
+    fn all_three_pipelines_agree_on_random_pairs(
+        seed in 0u64..5_000,
+        rules in 2usize..14,
+    ) {
+        let a = Synthesizer::new(seed).firewall(rules);
+        let b = Synthesizer::new(seed.wrapping_add(77_777)).firewall(rules);
+        let parallel = compare_firewalls_parallel(&a, &b, 2).unwrap();
+        let shaped = compare_firewalls_via_shaping(&a, &b).unwrap();
+        for (xs, ys, tag) in [
+            (&parallel, &shaped, "parallel⊆shaping"),
+            (&shaped, &parallel, "shaping⊆parallel"),
+        ] {
+            for d in xs.iter() {
+                let w = d.witness();
+                prop_assert!(
+                    ys.iter().any(|e| e.predicate().matches(&w)
+                        && e.left() == d.left()
+                        && e.right() == d.right()),
+                    "{} failed at witness {} (seed {})", tag, w, seed
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive ground-truth oracle: on a tiny 2-field schema every packet
+/// is enumerable, so every pipeline is checked cell-by-cell against
+/// first-match evaluation ([`Firewall::decision_for`]).
+#[test]
+fn all_pipelines_match_exhaustive_oracle_on_tiny_schema() {
+    use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
+
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let decisions = [Decision::Accept, Decision::Discard, Decision::AcceptLog];
+
+    // A deterministic family of tiny policies: every combination of two
+    // interval rules plus a catch-all, swept over offsets and decisions.
+    let mut policies: Vec<Firewall> = Vec::new();
+    for k in 0..12u64 {
+        let (a_lo, a_hi) = (k % 5, (k % 5) + 3);
+        let (b_lo, b_hi) = ((k * 3) % 6, ((k * 3) % 6) + 1);
+        let d1 = decisions[(k % 3) as usize];
+        let d2 = decisions[((k + 1) % 3) as usize];
+        let d3 = decisions[((k + 2) % 3) as usize];
+        let text =
+            format!("a={a_lo}-{a_hi}, b={b_lo}-{b_hi} -> {d1}\nb={b_lo} -> {d2}\n* -> {d3}\n");
+        policies.push(Firewall::parse(schema.clone(), &text).unwrap());
+    }
+
+    let mut checked_pairs = 0usize;
+    for (i, fa) in policies.iter().enumerate() {
+        for fb in policies.iter().skip(i + 1) {
+            let serial = compare_firewalls(fa, fb).unwrap();
+            let shaped = compare_firewalls_via_shaping(fa, fb).unwrap();
+            for jobs in [1usize, 2, 8] {
+                let parallel = compare_firewalls_parallel(fa, fb, jobs).unwrap();
+                assert_eq!(serial, parallel, "pair {i}, jobs={jobs}");
+            }
+            // Brute force over all 64 packets: membership in the reported
+            // regions must equal actual disagreement, and the reported
+            // decisions must be the actual decisions.
+            for a in 0..8u64 {
+                for b in 0..8u64 {
+                    let p = Packet::new(vec![a, b]);
+                    let (da, db) = (fa.decision_for(&p).unwrap(), fb.decision_for(&p).unwrap());
+                    let differs = da != db;
+                    for (ds, tag) in [(&serial, "serial"), (&shaped, "shaping")] {
+                        let hit = ds.iter().find(|d| d.predicate().matches(&p));
+                        assert_eq!(hit.is_some(), differs, "{tag} at {p}");
+                        if let Some(d) = hit {
+                            assert_eq!((d.left(), d.right()), (da, db), "{tag} at {p}");
+                        }
+                    }
+                }
+            }
+            checked_pairs += 1;
+        }
+    }
+    assert_eq!(checked_pairs, policies.len() * (policies.len() - 1) / 2);
 }
 
 #[test]

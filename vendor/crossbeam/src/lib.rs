@@ -1,0 +1,53 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Mirrors the call shape the workspace uses:
+//!
+//! ```ignore
+//! crossbeam::thread::scope(|s| {
+//!     s.spawn(|_| work());
+//! })
+//! .expect("no worker panicked");
+//! ```
+//!
+//! As in crossbeam, a panicking child thread surfaces as an `Err` from
+//! `scope` rather than tearing down the caller.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; `spawn` launches threads that may borrow from the
+    /// enclosing stack frame.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if `f` or any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+}
+
+pub use thread::scope;

@@ -1,0 +1,653 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` / `prop_compose!` macros, `Strategy` with
+//! `prop_map`, integer-range and tuple strategies, `collection::vec`,
+//! `bool::ANY`, `any::<T>()`, the `prop_assert*` family and
+//! `prop_assume!`. Cases are sampled from a deterministic xoshiro256++
+//! stream seeded per test name (override with `PROPTEST_SEED`); case
+//! counts honour `ProptestConfig::with_cases` and the `PROPTEST_CASES`
+//! environment variable. There is **no shrinking** — on failure the full
+//! generated inputs are printed instead.
+
+use std::fmt::Debug;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic generator feeding all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Expands a 64-bit seed into generator state via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and runner
+// ---------------------------------------------------------------------
+
+/// Per-block configuration, mirroring proptest's.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case is discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Drives the case loop for one `proptest!` test. Used by the macro
+/// expansion; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), Rejected>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    while accepted < config.cases {
+        let mut desc = String::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut desc)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(Rejected)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 65_536,
+                    "proptest '{name}': too many prop_assume! rejections"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{name}': case {accepted} failed (seed {seed}); inputs: {desc}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy wrapping a generation closure; backs `prop_compose!`.
+#[derive(Debug)]
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    /// Wraps `f` as a strategy.
+    pub fn new(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+}
+
+impl<T: Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------
+
+/// One atom of the supported regex subset.
+#[derive(Debug, Clone)]
+enum PatAtom {
+    /// A literal character.
+    Lit(char),
+    /// Any printable character (`\PC`).
+    Printable,
+    /// A character class `[...]`, expanded to its members.
+    Class(Vec<char>),
+    /// A top-level alternation of literal strings `(a|b|)`.
+    Alt(Vec<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    atoms: Vec<(PatAtom, usize, usize)>, // atom, min reps, max reps
+}
+
+impl Pattern {
+    /// Parses the regex subset proptest-style string strategies use here:
+    /// literals, `\PC`, `[...]` classes with ranges, `(a|b|)` literal
+    /// alternations, and `{m,n}` repetition suffixes.
+    fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<(PatAtom, usize, usize)> = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                        PatAtom::Printable
+                    }
+                    Some(esc) => PatAtom::Lit(esc),
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                },
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next().expect("unterminated class") {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range start");
+                                let hi = chars.next().expect("range end");
+                                for v in lo as u32..=hi as u32 {
+                                    members.extend(char::from_u32(v));
+                                }
+                            }
+                            m => {
+                                if let Some(p) = prev.take() {
+                                    members.push(p);
+                                }
+                                prev = Some(m);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        members.push(p);
+                    }
+                    assert!(!members.is_empty(), "empty class in {pattern:?}");
+                    PatAtom::Class(members)
+                }
+                '(' => {
+                    let mut alts = vec![String::new()];
+                    loop {
+                        match chars.next().expect("unterminated group") {
+                            ')' => break,
+                            '|' => alts.push(String::new()),
+                            m => alts.last_mut().expect("non-empty").push(m),
+                        }
+                    }
+                    PatAtom::Alt(alts)
+                }
+                lit => PatAtom::Lit(lit),
+            };
+            // Optional {m,n} repetition suffix.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    match chars.next().expect("unterminated repetition") {
+                        '}' => break,
+                        m => body.push(m),
+                    }
+                }
+                let (a, b) = body.split_once(',').expect("{m,n} form");
+                (
+                    a.parse().expect("repetition lower bound"),
+                    b.parse().expect("repetition upper bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, lo, hi));
+        }
+        Pattern { atoms }
+    }
+}
+
+/// A mostly-ASCII printable character, with occasional multi-byte ones so
+/// parsers see non-ASCII input too.
+fn printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: [char; 6] = ['é', 'ß', '→', '日', '🦀', '\u{a0}'];
+    if rng.below(20) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).expect("printable ASCII")
+    }
+}
+
+/// String strategies from regex-subset patterns, as in proptest
+/// (`text in "\\PC{0,120}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = Pattern::parse(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pattern.atoms {
+            let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..reps {
+                match atom {
+                    PatAtom::Lit(c) => out.push(*c),
+                    PatAtom::Printable => out.push(printable_char(rng)),
+                    PatAtom::Class(members) => {
+                        out.push(members[rng.below(members.len() as u64) as usize]);
+                    }
+                    PatAtom::Alt(alts) => {
+                        out.push_str(&alts[rng.below(alts.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Default)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    /// The uniform boolean strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+
+    /// A length distribution for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Declares property tests; see the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            (<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $config;
+                $crate::run_cases(&__pt_config, stringify!($name), |__pt_rng, __pt_desc| {
+                    $(
+                        let __pt_val = $crate::Strategy::generate(&($strat), __pt_rng);
+                        {
+                            use ::core::fmt::Write as _;
+                            let _ = ::core::write!(
+                                __pt_desc,
+                                "{} = {:?}; ",
+                                stringify!($pat),
+                                &__pt_val
+                            );
+                        }
+                        let $pat = __pt_val;
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Declares a named composite strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident ( $($outer:tt)* )
+      ( $($pat:pat in $strat:expr),+ $(,)? ) -> $out:ty $body:block ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy::new(move |__pt_rng: &mut $crate::TestRng| -> $out {
+                $(let $pat = $crate::Strategy::generate(&($strat), __pt_rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::core::assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::core::assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::core::assert_ne!($($t)*) };
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+
+    pub mod prop {
+        //! Strategy namespaces (`prop::collection`, `prop::bool`).
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        (0u32..10).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps((a, b) in (0u64..5, 0u64..=4), v in prop::collection::vec(small(), 0..4), flag in prop::bool::ANY) {
+            prop_assert!(a < 5 && b <= 4);
+            prop_assert!(v.len() < 4);
+            for x in v {
+                prop_assert_eq!(x % 2, 0);
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u8..3, b in 0u8..3) -> (u8, u8) { (a, b) }
+    }
+
+    proptest! {
+        #[test]
+        fn composed(p in pair(), n in any::<u32>()) {
+            prop_assert!(p.0 < 3 && p.1 < 3);
+            let _ = n;
+        }
+    }
+}

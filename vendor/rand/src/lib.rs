@@ -1,0 +1,249 @@
+//! Offline stand-in for `rand` 0.10.
+//!
+//! Provides the API surface the workspace uses — `StdRng::seed_from_u64`,
+//! `random_range` / `random_bool` / `random`, slice `choose` / `shuffle` —
+//! over a deterministic xoshiro256++ generator (seeded via SplitMix64,
+//! exactly as the xoshiro reference code recommends). The streams differ
+//! from upstream `rand`'s ChaCha12 `StdRng`, but every consumer in this
+//! workspace only relies on *determinism per seed*, not on specific
+//! values.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Derives a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator ("standard" distribution).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a uniform integer can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value in the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                self.start + draw as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t; // full u64 domain
+                }
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random read access into slices (`rand`'s `IndexedRandom`).
+pub trait IndexedRandom {
+    /// The element type.
+    type Item;
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// Random mutation of slices (`rand`'s `SliceRandom`).
+pub trait SliceRandom {
+    /// Uniformly permutes the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++, seeded via
+    /// SplitMix64. Deterministic per seed; not cryptographic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 state expansion, per the xoshiro reference code.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `rand::prelude`.
+    pub use super::rngs::StdRng;
+    pub use super::{IndexedRandom, Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0..=5usize);
+            assert!(w <= 5);
+            let p: f64 = rng.random();
+            assert!((0.0..1.0).contains(&p));
+        }
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace is built hermetically (no crates.io), and no code path
+//! serializes through serde — JSON emitted by the bench harness is
+//! hand-rolled. This crate re-exports no-op `Serialize` / `Deserialize`
+//! derive macros so existing annotations compile unchanged. If a future
+//! change needs real serialization, replace this stub with the real crate
+//! (the manifest shape is identical).
+
+pub use serde_derive::{Deserialize, Serialize};

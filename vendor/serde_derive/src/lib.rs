@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace is built in a hermetic environment with no access to
+//! crates.io, and nothing in the tree actually serializes (there is no
+//! `serde_json` consumer; all JSON output is hand-rolled). The derives
+//! exist so `#[derive(Serialize, Deserialize)]` annotations keep
+//! compiling; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
