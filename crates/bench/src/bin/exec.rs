@@ -1,0 +1,196 @@
+//! Classification-engine benchmark: replays random and biased (`scatter`)
+//! traces through the three per-packet engines — O(n·d) linear first-match
+//! scan, plain FDD walk, and the compiled `fw-exec` matcher (row-major and
+//! field-major batch) — on Fig. 12 real-life-sized and Fig. 13 synthetic
+//! workloads, then writes `BENCH_exec.json`.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin exec`
+//!
+//! Every workload and trace comes from fixed seeds, so decision counts and
+//! matcher shapes are reproducible run to run (only timings vary with the
+//! machine). The replay is also a three-way oracle: the bin asserts all
+//! engines agree on every packet before reporting throughput.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fw_exec::{CompiledFdd, PacketBatch};
+use fw_model::{Decision, Firewall};
+use fw_synth::PacketTrace;
+
+const PACKETS: usize = 20_000;
+const REPEATS: u32 = 3;
+const SCATTER: f64 = 0.3;
+
+struct Row {
+    workload: String,
+    rules: usize,
+    trace: &'static str,
+    packets: usize,
+    linear_mpps: f64,
+    fdd_walk_mpps: f64,
+    compiled_mpps: f64,
+    compiled_columns_mpps: f64,
+    compiled_nodes: usize,
+    arena_bytes: usize,
+    max_depth: usize,
+}
+
+fn median_mpps(n: usize, mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    n as f64 / times[times.len() / 2] / 1e6
+}
+
+fn time_repeats(mut f: impl FnMut()) -> Vec<f64> {
+    (0..REPEATS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static str) -> Row {
+    let fdd = fw_core::Fdd::from_firewall_fast(fw).expect("benchmark policies are comprehensive");
+    let compiled = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
+    let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets())
+        .expect("trace packets are schema-valid");
+    let n = trace.len();
+
+    // Three-way oracle first: every engine, every packet, identical answer.
+    let linear: Vec<Decision> = trace
+        .packets()
+        .iter()
+        .map(|p| fw.decision_for(p).expect("comprehensive policy"))
+        .collect();
+    let walked: Vec<Decision> = trace.packets().iter().map(|p| fdd.evaluate(p)).collect();
+    let mut compiled_out = Vec::new();
+    compiled.classify_batch_into(trace.packets(), &mut compiled_out);
+    let columns_out = compiled.classify_columns(&batch).expect("same schema");
+    assert_eq!(linear, walked, "{name}/{kind}: FDD walk diverges");
+    assert_eq!(linear, compiled_out, "{name}/{kind}: compiled diverges");
+    assert_eq!(linear, columns_out, "{name}/{kind}: column batch diverges");
+
+    let linear_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            for p in trace.packets() {
+                std::hint::black_box(fw.decision_for(p));
+            }
+        }),
+    );
+    let fdd_walk_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            for p in trace.packets() {
+                std::hint::black_box(fdd.evaluate(p));
+            }
+        }),
+    );
+    let mut out = Vec::new();
+    let compiled_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            compiled.classify_batch_into(trace.packets(), &mut out);
+            std::hint::black_box(out.len());
+        }),
+    );
+    let compiled_columns_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            compiled
+                .classify_columns_into(&batch, &mut out)
+                .expect("same schema");
+            std::hint::black_box(out.len());
+        }),
+    );
+
+    let s = compiled.stats();
+    println!(
+        "{name}/{kind}: linear {linear_mpps:.2} Mpps | walk {fdd_walk_mpps:.2} Mpps | \
+         compiled {compiled_mpps:.2} Mpps (x{:.1} vs linear) | columns {compiled_columns_mpps:.2} Mpps",
+        compiled_mpps / linear_mpps
+    );
+    Row {
+        workload: name.to_owned(),
+        rules: fw.len(),
+        trace: kind,
+        packets: n,
+        linear_mpps,
+        fdd_walk_mpps,
+        compiled_mpps,
+        compiled_columns_mpps,
+        compiled_nodes: s.nodes,
+        arena_bytes: s.arena_bytes,
+        max_depth: s.max_depth,
+    }
+}
+
+fn bench_workload(rows: &mut Vec<Row>, name: &str, fw: &Firewall, seed: u64) {
+    let random = PacketTrace::random(fw.schema().clone(), PACKETS, seed);
+    rows.push(bench_trace(name, fw, &random, "random"));
+    let biased = PacketTrace::biased(fw, PACKETS, SCATTER, seed + 1);
+    rows.push(bench_trace(name, fw, &biased, "biased"));
+}
+
+fn main() {
+    let started = Instant::now();
+    let mut rows = Vec::new();
+
+    // Fig. 12 shape: the real-life-sized policies.
+    bench_workload(
+        &mut rows,
+        "fig12/avg(42)",
+        &fw_synth::university_average(),
+        10,
+    );
+    bench_workload(
+        &mut rows,
+        "fig12/large(661)",
+        &fw_synth::university_large(),
+        20,
+    );
+
+    // Fig. 13 shape: synthetic policies of growing size.
+    for (i, n) in [25usize, 100, 500].into_iter().enumerate() {
+        let fw = fw_synth::Synthesizer::new(300 + i as u64).firewall(n);
+        bench_workload(&mut rows, &format!("fig13/synth-n{n}"), &fw, 40 + i as u64);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"packets_per_trace\": {PACKETS},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    let _ = writeln!(json, "  \"scatter\": {SCATTER},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"rules\": {}, \"trace\": \"{}\", \"packets\": {}, \
+             \"linear_mpps\": {:.3}, \"fdd_walk_mpps\": {:.3}, \"compiled_mpps\": {:.3}, \
+             \"compiled_columns_mpps\": {:.3}, \"speedup_vs_linear\": {:.3}, \
+             \"compiled_nodes\": {}, \"arena_bytes\": {}, \"max_depth\": {}}}{sep}",
+            r.workload,
+            r.rules,
+            r.trace,
+            r.packets,
+            r.linear_mpps,
+            r.fdd_walk_mpps,
+            r.compiled_mpps,
+            r.compiled_columns_mpps,
+            r.compiled_mpps / r.linear_mpps,
+            r.compiled_nodes,
+            r.arena_bytes,
+            r.max_depth
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"total_ms\": {:.3}\n}}",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json in {:?}", started.elapsed());
+}

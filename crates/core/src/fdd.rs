@@ -412,6 +412,42 @@ impl Fdd {
         }
     }
 
+    /// Plain FDD-walk evaluation: the mid-tier of the three-way execution
+    /// oracle (linear scan → FDD walk → compiled matcher). Identical to
+    /// [`Fdd::decision_for`] but infallible, for validated packets over this
+    /// diagram's schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's arity differs from the schema or a value
+    /// escapes every edge label (only possible for an invalid diagram or an
+    /// out-of-domain packet — call [`Packet::validate`] first).
+    pub fn evaluate(&self, packet: &Packet) -> Decision {
+        assert_eq!(
+            packet.len(),
+            self.schema.len(),
+            "packet arity {} does not match schema arity {}",
+            packet.len(),
+            self.schema.len()
+        );
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Terminal(d) => return *d,
+                Node::Internal { field, edges } => {
+                    let v = packet.value(*field);
+                    let e = edges
+                        .iter()
+                        .find(|e| e.label.contains(v))
+                        .unwrap_or_else(|| {
+                            panic!("value {v} of {field} escapes every edge label at {id}")
+                        });
+                    id = e.target;
+                }
+            }
+        }
+    }
+
     /// Visits every decision path as `(predicate, decision)`; fields absent
     /// from a path are reported as their full domains, exactly as the paper
     /// defines the rule of a decision path (§2).
@@ -789,6 +825,23 @@ mod tests {
         assert_eq!(fdd.depth(), 2);
         assert!(fdd.is_tree());
         assert!(fdd.is_simple());
+    }
+
+    #[test]
+    fn evaluate_matches_decision_for() {
+        let fdd = tiny_fdd();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let p = Packet::new(vec![x, y]);
+                assert_eq!(Some(fdd.evaluate(&p)), fdd.decision_for(&p));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn evaluate_panics_on_arity_mismatch() {
+        tiny_fdd().evaluate(&Packet::new(vec![1]));
     }
 
     #[test]

@@ -12,6 +12,9 @@ pub enum DiverseError {
     Core(CoreError),
     /// An underlying model error.
     Model(ModelError),
+    /// An underlying compiled-runtime error (lowering the agreed firewall
+    /// into an executable matcher).
+    Exec(fw_exec::ExecError),
     /// A resolution does not match the comparison it claims to resolve
     /// (wrong number of entries, or decisions for unknown regions).
     ResolutionMismatch {
@@ -32,6 +35,7 @@ impl fmt::Display for DiverseError {
         match self {
             DiverseError::Core(e) => write!(f, "core error: {e}"),
             DiverseError::Model(e) => write!(f, "model error: {e}"),
+            DiverseError::Exec(e) => write!(f, "exec error: {e}"),
             DiverseError::ResolutionMismatch { message } => {
                 write!(f, "resolution mismatch: {message}")
             }
@@ -47,6 +51,7 @@ impl Error for DiverseError {
         match self {
             DiverseError::Core(e) => Some(e),
             DiverseError::Model(e) => Some(e),
+            DiverseError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +66,12 @@ impl From<CoreError> for DiverseError {
 impl From<ModelError> for DiverseError {
     fn from(e: ModelError) -> Self {
         DiverseError::Model(e)
+    }
+}
+
+impl From<fw_exec::ExecError> for DiverseError {
+    fn from(e: fw_exec::ExecError) -> Self {
+        DiverseError::Exec(e)
     }
 }
 

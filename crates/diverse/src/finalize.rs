@@ -99,6 +99,37 @@ pub fn finalize(cmp: &Comparison, res: &Resolution) -> Result<Firewall, DiverseE
     Ok(m1)
 }
 
+/// Runs [`finalize`] and lowers the agreed firewall into an executable
+/// matcher (`fw-exec`) — the deployment step: the one policy every team
+/// signed off on, compiled for serving.
+///
+/// # Errors
+///
+/// As for [`finalize`], plus lowering errors surfaced as
+/// [`DiverseError::Exec`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_diverse::DiverseError> {
+/// use fw_diverse::{compile_final, Comparison, Resolution};
+/// use fw_model::paper;
+///
+/// let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()])?;
+/// let res = Resolution::by_majority(&cmp);
+/// let matcher = compile_final(&cmp, &res)?;
+/// assert!(matcher.stats().max_depth <= paper::team_a().schema().len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_final(
+    cmp: &Comparison,
+    res: &Resolution,
+) -> Result<fw_exec::CompiledFdd, DiverseError> {
+    let agreed = finalize(cmp, res)?;
+    Ok(fw_exec::CompiledFdd::from_firewall(&agreed)?)
+}
+
 /// Checks that `final_fw` satisfies the resolution: resolved regions map to
 /// the agreed decisions, and undisputed packets keep the common decision.
 ///
@@ -240,6 +271,23 @@ mod tests {
         let m2a = method2(&cmp, &res, 0).unwrap();
         let m2b = method2(&cmp, &res, 1).unwrap();
         assert!(fw_core::equivalent(&m2a, &m2b).unwrap());
+    }
+
+    #[test]
+    fn compiled_final_serves_the_resolution() {
+        let (cmp, res) = paper_setup();
+        let agreed = finalize(&cmp, &res).unwrap();
+        let matcher = compile_final(&cmp, &res).unwrap();
+        // The compiled matcher decides exactly as the agreed rule sequence,
+        // including on the three resolved regions' witnesses.
+        for e in res.entries() {
+            let w = e.discrepancy().witness();
+            assert_eq!(matcher.classify(&w), e.decision());
+        }
+        let trace = fw_synth::PacketTrace::biased(&agreed, 1_500, 0.5, 17);
+        for p in trace.packets() {
+            assert_eq!(Some(matcher.classify(p)), agreed.decision_for(p));
+        }
     }
 
     #[test]

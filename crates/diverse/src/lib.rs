@@ -44,7 +44,7 @@ mod session;
 
 pub use comparison::{cross_compare_parallel, cross_compare_parallel_jobs, Comparison};
 pub use error::DiverseError;
-pub use finalize::{finalize, method1, method2, verify_final};
+pub use finalize::{compile_final, finalize, method1, method2, verify_final};
 pub use resolution::{Resolution, ResolvedDiscrepancy};
 pub use session::{ComparedSession, DesignSession, ResolvedSession, TeamScore};
 

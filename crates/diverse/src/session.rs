@@ -235,6 +235,16 @@ impl ResolvedSession {
     pub fn finalize(&self) -> Result<Firewall, DiverseError> {
         finalize(&self.comparison, &self.resolution)
     }
+
+    /// Finalizes and lowers the agreed firewall into an executable matcher,
+    /// ready to serve traffic via `fw_exec::CompiledFdd::classify_batch`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::compile_final`].
+    pub fn compile(&self) -> Result<fw_exec::CompiledFdd, DiverseError> {
+        crate::compile_final(&self.comparison, &self.resolution)
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +268,18 @@ mod tests {
         assert!(resolved.report().contains("resolved discrepancies: 3"));
         let fw = resolved.finalize().unwrap();
         assert!(fw.is_comprehensive_syntactically());
+    }
+
+    #[test]
+    fn session_compiles_to_executable_matcher() {
+        let resolved = compared().resolve_by_majority();
+        let agreed = resolved.finalize().unwrap();
+        let matcher = resolved.compile().unwrap();
+        let trace = fw_synth::PacketTrace::random(agreed.schema().clone(), 1_000, 23);
+        let batch = matcher.classify_batch(trace.packets());
+        for (p, d) in trace.packets().iter().zip(batch) {
+            assert_eq!(Some(d), agreed.decision_for(p));
+        }
     }
 
     #[test]

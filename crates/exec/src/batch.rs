@@ -1,0 +1,161 @@
+//! Field-major (column) packet layout for batch classification.
+//!
+//! Replaying a large trace row by row touches `d` scattered heap cells per
+//! packet (each [`Packet`] owns its own value vector). [`PacketBatch`]
+//! transposes the trace once into `d` contiguous columns so the matcher's
+//! per-field reads stream through memory, which is the layout SIMD batch
+//! classification will want as well.
+
+use fw_model::{Decision, ModelError, Packet, Schema};
+
+use crate::{CompiledFdd, ExecError};
+
+/// A batch of packets stored field-major: `column(f)[i]` is packet `i`'s
+/// value for field `f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBatch {
+    schema: Schema,
+    len: usize,
+    columns: Vec<Vec<u64>>,
+}
+
+impl PacketBatch {
+    /// Transposes `packets` into columns, validating each against `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first packet's validation error, if any.
+    pub fn from_packets(schema: Schema, packets: &[Packet]) -> Result<PacketBatch, ModelError> {
+        let d = schema.len();
+        let mut columns: Vec<Vec<u64>> =
+            (0..d).map(|_| Vec::with_capacity(packets.len())).collect();
+        for p in packets {
+            p.validate(&schema)?;
+            for (f, col) in columns.iter_mut().enumerate() {
+                col.push(p.values()[f]);
+            }
+        }
+        Ok(PacketBatch {
+            schema,
+            len: packets.len(),
+            columns,
+        })
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The contiguous value column of field `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range for the schema.
+    pub fn column(&self, f: usize) -> &[u64] {
+        &self.columns[f]
+    }
+
+    /// Reassembles packet `i` (row-major), for spot checks and error
+    /// reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn packet(&self, i: usize) -> Packet {
+        assert!(i < self.len, "packet index {i} out of range {}", self.len);
+        Packet::new(self.columns.iter().map(|c| c[i]).collect())
+    }
+}
+
+impl CompiledFdd {
+    /// Classifies every packet of a field-major batch, returning decisions
+    /// in packet order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Model`] if the batch was built over a different
+    /// schema.
+    pub fn classify_columns(&self, batch: &PacketBatch) -> Result<Vec<Decision>, ExecError> {
+        let mut out = Vec::new();
+        self.classify_columns_into(batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`CompiledFdd::classify_columns`], into a caller-provided
+    /// buffer (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledFdd::classify_columns`].
+    pub fn classify_columns_into(
+        &self,
+        batch: &PacketBatch,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ExecError> {
+        if batch.schema() != self.schema() {
+            return Err(ExecError::Model(ModelError::ArityMismatch {
+                expected: self.schema().len(),
+                found: batch.schema().len(),
+            }));
+        }
+        out.clear();
+        out.reserve(batch.len());
+        let mut values = vec![0u64; self.schema().len()];
+        for i in 0..batch.len() {
+            for (f, v) in values.iter_mut().enumerate() {
+                *v = batch.columns[f][i];
+            }
+            out.push(self.decide(&values));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    #[test]
+    fn columns_match_rows() {
+        let fw = fw_synth::Synthesizer::new(21).firewall(25);
+        let trace = fw_synth::PacketTrace::biased(&fw, 400, 0.3, 2);
+        let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+        assert_eq!(batch.len(), 400);
+        assert!(!batch.is_empty());
+        for (i, p) in trace.packets().iter().enumerate() {
+            assert_eq!(&batch.packet(i), p);
+        }
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let by_rows = compiled.classify_batch(trace.packets());
+        let by_cols = compiled.classify_columns(&batch).unwrap();
+        assert_eq!(by_rows, by_cols);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let compiled = CompiledFdd::from_firewall(&paper::team_a()).unwrap();
+        let other = Schema::tcp_ip();
+        let batch =
+            PacketBatch::from_packets(other.clone(), &[Packet::new(vec![1, 2, 3, 4, 5])]).unwrap();
+        assert!(compiled.classify_columns(&batch).is_err());
+    }
+
+    #[test]
+    fn invalid_packets_rejected_at_transpose() {
+        let schema = Schema::paper_example();
+        assert!(PacketBatch::from_packets(schema.clone(), &[Packet::new(vec![1])]).is_err());
+        assert!(PacketBatch::from_packets(schema, &[Packet::new(vec![7, 0, 0, 0, 0])]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! `fw-exec` — the compiled packet-classification runtime.
+//!
+//! The paper's end product (§6) is one agreed-upon firewall; this crate is
+//! how that firewall *runs*. A finalized [`fw_core::Fdd`] is lowered into a
+//! [`CompiledFdd`]: a contiguous arena of fixed-size node descriptors with
+//! no pointers and no per-packet allocation, where each internal node
+//! resolves its field value either through a dense jump table (fields of at
+//! most [`JUMP_TABLE_MAX_BITS`] bits) or a sorted cut-point array walked by
+//! branchless binary search. Decision-diagram lowering into flat lookup
+//! structures follows Hazelhurst's observation that analysis DAGs and fast
+//! lookup structures are the same object at different addresses.
+//!
+//! On top of the matcher sit the runtime surfaces the evaluation harness
+//! and the `fwclass` binary share:
+//!
+//! * [`CompiledFdd::classify`] — single-packet classification;
+//! * [`CompiledFdd::classify_batch`] /
+//!   [`CompiledFdd::classify_batch_into`] — batch classification over
+//!   `&[Packet]` without per-packet allocation;
+//! * [`PacketBatch`] and [`CompiledFdd::classify_columns`] — a field-major
+//!   (column) packet layout for cache-friendly replay of large traces;
+//! * [`CompiledFdd::encode`] / [`CompiledFdd::decode`] — a fixed-width
+//!   little-endian wire format in the same `bytes` conventions as
+//!   `fw_synth::PacketTrace`, so a compiled policy can be shipped to the
+//!   box that serves it;
+//! * [`CompileStats`] — node/arena/depth accounting in the style of
+//!   `fw_core::FddStats`.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), fw_exec::ExecError> {
+//! use fw_exec::CompiledFdd;
+//! use fw_model::{paper, Decision, Packet};
+//!
+//! let compiled = CompiledFdd::from_firewall(&paper::team_a())?;
+//! let p = Packet::new(vec![0, 1, paper::MAIL_SERVER, 25, paper::TCP]);
+//! assert_eq!(compiled.classify(&p), Decision::Accept);
+//! assert!(compiled.stats().arena_bytes > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod compile;
+mod error;
+mod wire;
+
+pub use batch::PacketBatch;
+pub use compile::{CompileStats, CompiledFdd, JUMP_TABLE_MAX_BITS};
+pub use error::ExecError;

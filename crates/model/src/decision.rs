@@ -33,6 +33,36 @@ impl Decision {
         Decision::DiscardLog,
     ];
 
+    /// A stable single-byte wire code for the decision, used by binary
+    /// serialisation (compiled matchers, trace formats). Inverse of
+    /// [`Decision::from_code`].
+    pub fn code(self) -> u8 {
+        match self {
+            Decision::Accept => 0,
+            Decision::Discard => 1,
+            Decision::AcceptLog => 2,
+            Decision::DiscardLog => 3,
+        }
+    }
+
+    /// Decodes a wire code produced by [`Decision::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] for an unknown code.
+    pub fn from_code(code: u8) -> Result<Decision, ModelError> {
+        match code {
+            0 => Ok(Decision::Accept),
+            1 => Ok(Decision::Discard),
+            2 => Ok(Decision::AcceptLog),
+            3 => Ok(Decision::DiscardLog),
+            other => Err(ModelError::Parse {
+                line: 0,
+                message: format!("unknown decision code {other}"),
+            }),
+        }
+    }
+
     /// Whether the packet ultimately passes (ignoring the logging option).
     pub fn permits(self) -> bool {
         matches!(self, Decision::Accept | Decision::AcceptLog)
@@ -100,6 +130,14 @@ mod tests {
         assert_eq!("deny".parse::<Decision>().unwrap(), Decision::Discard);
         assert_eq!("drop".parse::<Decision>().unwrap(), Decision::Discard);
         assert!("reject".parse::<Decision>().is_err());
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for d in Decision::ALL {
+            assert_eq!(Decision::from_code(d.code()).unwrap(), d);
+        }
+        assert!(Decision::from_code(9).is_err());
     }
 
     #[test]

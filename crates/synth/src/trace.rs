@@ -116,6 +116,37 @@ impl PacketTrace {
         buf.freeze()
     }
 
+    /// Writes the encoded trace to `path`, so the `fwclass` and bench
+    /// binaries can replay one shared trace file instead of re-synthesizing
+    /// per run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, &self.encode()[..])
+    }
+
+    /// Reads a trace previously written by [`PacketTrace::write_to`] for
+    /// the same schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] for unreadable files (carrying the I/O
+    /// message) and the usual [`PacketTrace::decode`] errors for malformed
+    /// or out-of-domain content.
+    pub fn read_from(
+        schema: Schema,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<PacketTrace, ModelError> {
+        let path = path.as_ref();
+        let data = std::fs::read(path).map_err(|e| ModelError::Parse {
+            line: 0,
+            message: format!("{}: {e}", path.display()),
+        })?;
+        PacketTrace::decode(schema, Bytes::from(data))
+    }
+
     /// Decodes a trace previously produced by [`PacketTrace::encode`] for
     /// the same schema.
     ///
@@ -172,6 +203,18 @@ mod tests {
         assert_eq!(bytes.len(), 4 + 64 * 5 * 8);
         let back = PacketTrace::decode(schema, bytes).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let schema = Schema::tcp_ip();
+        let t = PacketTrace::random(schema.clone(), 32, 7);
+        let path = std::env::temp_dir().join("fw_synth_trace_round_trip.trace");
+        t.write_to(&path).unwrap();
+        let back = PacketTrace::read_from(schema.clone(), &path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).unwrap();
+        assert!(PacketTrace::read_from(schema, &path).is_err());
     }
 
     #[test]

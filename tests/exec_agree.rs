@@ -1,0 +1,113 @@
+//! Three-way execution oracle for the compiled classification runtime:
+//! on every packet of every trace, the O(n·d) linear first-match scan
+//! ([`Firewall::decision_for`]), the plain FDD walk ([`Fdd::evaluate`])
+//! and the flat compiled matcher ([`CompiledFdd::classify`]) must return
+//! the same decision — on random policies, biased traces, wire-format
+//! round trips, and an exhaustive all-packets sweep of a tiny schema.
+
+use diverse_firewall::core::Fdd;
+use diverse_firewall::exec::{CompiledFdd, PacketBatch};
+use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
+use diverse_firewall::synth::{PacketTrace, Synthesizer};
+use proptest::prelude::*;
+
+/// Assert all engines agree on every packet of `trace`, including the
+/// decoded wire image and both batch entry points.
+fn assert_three_way(fw: &Firewall, trace: &PacketTrace, tag: &str) {
+    let fdd = Fdd::from_firewall_fast(fw).unwrap();
+    let compiled = CompiledFdd::from_firewall(fw).unwrap();
+    let reloaded = CompiledFdd::decode(fw.schema().clone(), compiled.encode()).unwrap();
+    let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+
+    let mut batched = Vec::new();
+    compiled.classify_batch_into(trace.packets(), &mut batched);
+    let columns = compiled.classify_columns(&batch).unwrap();
+    for (i, p) in trace.packets().iter().enumerate() {
+        let linear = fw.decision_for(p).expect("comprehensive policy");
+        let walked = fdd.evaluate(p);
+        let classified = compiled.classify(p);
+        assert_eq!(linear, walked, "{tag}: FDD walk diverges at {p}");
+        assert_eq!(linear, classified, "{tag}: compiled diverges at {p}");
+        assert_eq!(linear, batched[i], "{tag}: batch diverges at {p}");
+        assert_eq!(linear, columns[i], "{tag}: column batch diverges at {p}");
+        assert_eq!(
+            linear,
+            reloaded.classify(p),
+            "{tag}: decoded wire image diverges at {p}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: on random synthesized policies, all execution engines
+    /// agree on both uniformly random and rule-region-biased traces.
+    #[test]
+    fn engines_agree_on_random_policies(
+        seed in 0u64..10_000,
+        rules in 1usize..30,
+        trace_seed in 0u64..1_000,
+    ) {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let random = PacketTrace::random(fw.schema().clone(), 400, trace_seed);
+        assert_three_way(&fw, &random, "random trace");
+        let biased = PacketTrace::biased(&fw, 400, 0.3, trace_seed + 1);
+        assert_three_way(&fw, &biased, "biased trace");
+    }
+}
+
+/// Exhaustive oracle: on a tiny 2-field schema (3 bits each) every one of
+/// the 64 packets is enumerable, so the compiled matcher is checked
+/// cell-by-cell against first-match evaluation for a deterministic family
+/// of policies — the same sweep style as `pipelines_agree.rs`.
+#[test]
+fn engines_match_exhaustive_oracle_on_tiny_schema() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let decisions = [Decision::Accept, Decision::Discard, Decision::AcceptLog];
+
+    for k in 0..12u64 {
+        let (a_lo, a_hi) = (k % 5, (k % 5) + 3);
+        let (b_lo, b_hi) = ((k * 3) % 6, ((k * 3) % 6) + 1);
+        let d1 = decisions[(k % 3) as usize];
+        let d2 = decisions[((k + 1) % 3) as usize];
+        let d3 = decisions[((k + 2) % 3) as usize];
+        let text =
+            format!("a={a_lo}-{a_hi}, b={b_lo}-{b_hi} -> {d1}\nb={b_lo} -> {d2}\n* -> {d3}\n");
+        let fw = Firewall::parse(schema.clone(), &text).unwrap();
+
+        let fdd = Fdd::from_firewall_fast(&fw).unwrap();
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let reloaded = CompiledFdd::decode(schema.clone(), compiled.encode()).unwrap();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let p = Packet::new(vec![a, b]);
+                let linear = fw.decision_for(&p).unwrap();
+                assert_eq!(linear, fdd.evaluate(&p), "policy {k}, walk at {p}");
+                assert_eq!(linear, compiled.classify(&p), "policy {k}, compiled at {p}");
+                assert_eq!(linear, reloaded.classify(&p), "policy {k}, decoded at {p}");
+            }
+        }
+    }
+}
+
+/// The paper's running example compiles and serves the same decisions as
+/// the rule list it came from, end to end through the session API.
+#[test]
+fn paper_example_compiles_and_serves() {
+    use diverse_firewall::diverse::{Comparison, Resolution};
+    use diverse_firewall::model::paper;
+
+    let cmp = Comparison::of(vec![paper::team_a(), paper::team_b()]).unwrap();
+    let res = Resolution::by_majority(&cmp);
+    let agreed = diverse_firewall::diverse::finalize(&cmp, &res).unwrap();
+    let compiled = diverse_firewall::diverse::compile_final(&cmp, &res).unwrap();
+    let trace = PacketTrace::biased(&agreed, 2_000, 0.25, 7);
+    for p in trace.packets() {
+        assert_eq!(agreed.decision_for(p).unwrap(), compiled.classify(p));
+    }
+}
