@@ -1,26 +1,29 @@
 //! Classification-engine benchmark: replays random and biased (`scatter`)
-//! traces through the three per-packet engines — O(n·d) linear first-match
-//! scan, plain FDD walk, and the compiled `fw-exec` matcher (row-major and
-//! field-major batch) — on Fig. 12 real-life-sized and Fig. 13 synthetic
-//! workloads, then writes `BENCH_exec.json`.
+//! traces through the classification engines — O(n·d) linear first-match
+//! scan, plain FDD walk, and the compiled `fw-exec` matcher (row-major,
+//! field-major scalar, and the level-synchronous lane kernel) — on Fig. 12
+//! real-life-sized and Fig. 13 synthetic workloads, then writes
+//! `BENCH_exec.json`, including a lane-width sweep on the workloads where
+//! the scalar compiled matcher used to lose to the plain walk.
 //!
 //! Run with: `cargo run --release -p fw-bench --bin exec`
 //!
 //! Every workload and trace comes from fixed seeds, so decision counts and
 //! matcher shapes are reproducible run to run (only timings vary with the
-//! machine). The replay is also a three-way oracle: the bin asserts all
+//! machine). The replay is also a four-way oracle: the bin asserts all
 //! engines agree on every packet before reporting throughput.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fw_exec::{CompiledFdd, PacketBatch};
+use fw_exec::{CompiledFdd, PacketBatch, DEFAULT_LANE_WIDTH};
 use fw_model::{Decision, Firewall};
 use fw_synth::PacketTrace;
 
 const PACKETS: usize = 20_000;
 const REPEATS: u32 = 3;
 const SCATTER: f64 = 0.3;
+const SWEEP_WIDTHS: [usize; 6] = [4, 8, 16, 32, 64, 128];
 
 struct Row {
     workload: String,
@@ -31,9 +34,17 @@ struct Row {
     fdd_walk_mpps: f64,
     compiled_mpps: f64,
     compiled_columns_mpps: f64,
+    lanes_mpps: f64,
     compiled_nodes: usize,
     arena_bytes: usize,
     max_depth: usize,
+}
+
+struct SweepRow {
+    workload: String,
+    trace: &'static str,
+    lane_width: usize,
+    mpps: f64,
 }
 
 fn median_mpps(n: usize, mut times: Vec<f64>) -> f64 {
@@ -54,11 +65,11 @@ fn time_repeats(mut f: impl FnMut()) -> Vec<f64> {
 fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static str) -> Row {
     let fdd = fw_core::Fdd::from_firewall_fast(fw).expect("benchmark policies are comprehensive");
     let compiled = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
-    let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets())
+    let batch = PacketBatch::from_trace(fw.schema().clone(), trace.packets())
         .expect("trace packets are schema-valid");
     let n = trace.len();
 
-    // Three-way oracle first: every engine, every packet, identical answer.
+    // Four-way oracle first: every engine, every packet, identical answer.
     let linear: Vec<Decision> = trace
         .packets()
         .iter()
@@ -68,9 +79,13 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
     let mut compiled_out = Vec::new();
     compiled.classify_batch_into(trace.packets(), &mut compiled_out);
     let columns_out = compiled.classify_columns(&batch).expect("same schema");
+    let lanes_out = compiled
+        .classify_lanes(&batch, DEFAULT_LANE_WIDTH)
+        .expect("same schema");
     assert_eq!(linear, walked, "{name}/{kind}: FDD walk diverges");
     assert_eq!(linear, compiled_out, "{name}/{kind}: compiled diverges");
     assert_eq!(linear, columns_out, "{name}/{kind}: column batch diverges");
+    assert_eq!(linear, lanes_out, "{name}/{kind}: lane kernel diverges");
 
     let linear_mpps = median_mpps(
         n,
@@ -105,12 +120,23 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
             std::hint::black_box(out.len());
         }),
     );
+    let lanes_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            compiled
+                .classify_lanes_into(&batch, DEFAULT_LANE_WIDTH, &mut out)
+                .expect("same schema");
+            std::hint::black_box(out.len());
+        }),
+    );
 
     let s = compiled.stats();
     println!(
         "{name}/{kind}: linear {linear_mpps:.2} Mpps | walk {fdd_walk_mpps:.2} Mpps | \
-         compiled {compiled_mpps:.2} Mpps (x{:.1} vs linear) | columns {compiled_columns_mpps:.2} Mpps",
-        compiled_mpps / linear_mpps
+         compiled {compiled_mpps:.2} Mpps (x{:.1} vs linear) | columns {compiled_columns_mpps:.2} Mpps | \
+         lanes {lanes_mpps:.2} Mpps (x{:.2} vs walk)",
+        compiled_mpps / linear_mpps,
+        lanes_mpps / fdd_walk_mpps
     );
     Row {
         workload: name.to_owned(),
@@ -121,9 +147,51 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
         fdd_walk_mpps,
         compiled_mpps,
         compiled_columns_mpps,
+        lanes_mpps,
         compiled_nodes: s.nodes,
         arena_bytes: s.arena_bytes,
         max_depth: s.max_depth,
+    }
+}
+
+/// Lane-width sensitivity on one workload/trace: same kernel, widths from
+/// [`SWEEP_WIDTHS`]; decisions re-asserted against the scalar column path
+/// at every width.
+fn sweep_lanes(
+    rows: &mut Vec<SweepRow>,
+    name: &str,
+    fw: &Firewall,
+    trace: &PacketTrace,
+    kind: &'static str,
+) {
+    let compiled = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
+    let batch = PacketBatch::from_trace(fw.schema().clone(), trace.packets())
+        .expect("trace packets are schema-valid");
+    let scalar = compiled.classify_columns(&batch).expect("same schema");
+    let mut out = Vec::new();
+    for width in SWEEP_WIDTHS {
+        compiled
+            .classify_lanes_into(&batch, width, &mut out)
+            .expect("same schema");
+        assert_eq!(
+            scalar, out,
+            "{name}/{kind}: lane kernel diverges at width {width}"
+        );
+        let mpps = median_mpps(
+            trace.len(),
+            time_repeats(|| {
+                compiled
+                    .classify_lanes_into(&batch, width, &mut out)
+                    .expect("same schema");
+                std::hint::black_box(out.len());
+            }),
+        );
+        rows.push(SweepRow {
+            workload: name.to_owned(),
+            trace: kind,
+            lane_width: width,
+            mpps,
+        });
     }
 }
 
@@ -158,6 +226,19 @@ fn main() {
         bench_workload(&mut rows, &format!("fig13/synth-n{n}"), &fw, 40 + i as u64);
     }
 
+    // Lane-width sweep on the two random-trace workloads where the scalar
+    // compiled matcher loses to the plain FDD walk — the cases the lane
+    // kernel exists to win.
+    let mut sweep = Vec::new();
+    {
+        let fw = fw_synth::university_large();
+        let trace = PacketTrace::random(fw.schema().clone(), PACKETS, 20);
+        sweep_lanes(&mut sweep, "fig12/large(661)", &fw, &trace, "random");
+        let fw = fw_synth::Synthesizer::new(302).firewall(500);
+        let trace = PacketTrace::random(fw.schema().clone(), PACKETS, 42);
+        sweep_lanes(&mut sweep, "fig13/synth-n500", &fw, &trace, "random");
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"packets_per_trace\": {PACKETS},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
@@ -169,7 +250,8 @@ fn main() {
             json,
             "    {{\"workload\": \"{}\", \"rules\": {}, \"trace\": \"{}\", \"packets\": {}, \
              \"linear_mpps\": {:.3}, \"fdd_walk_mpps\": {:.3}, \"compiled_mpps\": {:.3}, \
-             \"compiled_columns_mpps\": {:.3}, \"speedup_vs_linear\": {:.3}, \
+             \"compiled_columns_mpps\": {:.3}, \"lanes_mpps\": {:.3}, \
+             \"speedup_vs_linear\": {:.3}, \"lanes_speedup_vs_walk\": {:.3}, \
              \"compiled_nodes\": {}, \"arena_bytes\": {}, \"max_depth\": {}}}{sep}",
             r.workload,
             r.rules,
@@ -179,10 +261,24 @@ fn main() {
             r.fdd_walk_mpps,
             r.compiled_mpps,
             r.compiled_columns_mpps,
+            r.lanes_mpps,
             r.compiled_mpps / r.linear_mpps,
+            r.lanes_mpps / r.fdd_walk_mpps,
             r.compiled_nodes,
             r.arena_bytes,
             r.max_depth
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"default_lane_width\": {DEFAULT_LANE_WIDTH},");
+    json.push_str("  \"lane_width_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        let sep = if i + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"trace\": \"{}\", \"lane_width\": {}, \
+             \"lanes_mpps\": {:.3}}}{sep}",
+            r.workload, r.trace, r.lane_width, r.mpps
         );
     }
     json.push_str("  ],\n");

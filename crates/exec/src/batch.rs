@@ -3,8 +3,9 @@
 //! Replaying a large trace row by row touches `d` scattered heap cells per
 //! packet (each [`Packet`] owns its own value vector). [`PacketBatch`]
 //! transposes the trace once into `d` contiguous columns so the matcher's
-//! per-field reads stream through memory, which is the layout SIMD batch
-//! classification will want as well.
+//! per-field reads stream through memory — the layout both the scalar
+//! column path below and the level-synchronous lane kernel
+//! ([`CompiledFdd::classify_lanes`]) consume directly.
 
 use fw_model::{Decision, ModelError, Packet, Schema};
 
@@ -20,24 +21,87 @@ pub struct PacketBatch {
 }
 
 impl PacketBatch {
-    /// Transposes `packets` into columns, validating each against `schema`.
+    /// Transposes `packets` into columns, validating against `schema`.
+    ///
+    /// Equivalent to [`PacketBatch::from_trace`] over the same packets.
     ///
     /// # Errors
     ///
-    /// Returns the first packet's validation error, if any.
+    /// Returns the first arity mismatch found while transposing, or the
+    /// first out-of-domain value of the lowest-index offending field.
     pub fn from_packets(schema: Schema, packets: &[Packet]) -> Result<PacketBatch, ModelError> {
+        PacketBatch::from_trace(schema, packets)
+    }
+
+    /// Transposes a replay trace (any iterator of packets, e.g.
+    /// `fw_synth::PacketTrace::packets()`) into columns in one pass, then
+    /// validates domain bounds column by column — one streaming sweep per
+    /// field instead of a per-packet `Packet::validate` with its per-value
+    /// field lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] for the first packet of wrong
+    /// arity, or [`ModelError::OutOfDomain`] for the first offending value
+    /// of the lowest-index offending field.
+    pub fn from_trace<'a, I>(schema: Schema, packets: I) -> Result<PacketBatch, ModelError>
+    where
+        I: IntoIterator<Item = &'a Packet>,
+    {
         let d = schema.len();
-        let mut columns: Vec<Vec<u64>> =
-            (0..d).map(|_| Vec::with_capacity(packets.len())).collect();
+        let packets = packets.into_iter();
+        let hint = packets.size_hint().0;
+        let mut columns: Vec<Vec<u64>> = (0..d).map(|_| Vec::with_capacity(hint)).collect();
+        let mut len = 0usize;
         for p in packets {
-            p.validate(&schema)?;
-            for (f, col) in columns.iter_mut().enumerate() {
-                col.push(p.values()[f]);
+            if p.len() != d {
+                return Err(ModelError::ArityMismatch {
+                    expected: d,
+                    found: p.len(),
+                });
             }
+            for (col, &v) in columns.iter_mut().zip(p.values()) {
+                col.push(v);
+            }
+            len += 1;
         }
+        validate_columns(&schema, &columns)?;
         Ok(PacketBatch {
             schema,
-            len: packets.len(),
+            len,
+            columns,
+        })
+    }
+
+    /// Builds a batch from already-columnar data (`columns[f][i]` = packet
+    /// `i`'s value for field `f`), validating each column in one pass with
+    /// no transpose and no per-packet indirection at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Model`] for a column-count/schema arity
+    /// mismatch or an out-of-domain value, and [`ExecError::Batch`] for
+    /// ragged columns (unequal lengths).
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<u64>>) -> Result<PacketBatch, ExecError> {
+        if columns.len() != schema.len() {
+            return Err(ExecError::Model(ModelError::ArityMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            }));
+        }
+        let len = columns.first().map_or(0, Vec::len);
+        for (f, col) in columns.iter().enumerate() {
+            if col.len() != len {
+                return Err(ExecError::Batch(format!(
+                    "ragged columns: column {f} holds {} packets, column 0 holds {len}",
+                    col.len()
+                )));
+            }
+        }
+        validate_columns(&schema, &columns)?;
+        Ok(PacketBatch {
+            schema,
+            len,
             columns,
         })
     }
@@ -78,7 +142,51 @@ impl PacketBatch {
     }
 }
 
+/// One streaming max-sweep per column, then a second pass over the single
+/// offending column (if any) to name the first bad value. The hot path is
+/// the branch-free max fold, which the compiler vectorises.
+fn validate_columns(schema: &Schema, columns: &[Vec<u64>]) -> Result<(), ModelError> {
+    for ((_, fd), col) in schema.iter().zip(columns) {
+        let max = fd.max();
+        let worst = col.iter().copied().fold(0u64, u64::max);
+        if worst > max {
+            let value = col.iter().copied().find(|&v| v > max).unwrap_or(worst);
+            return Err(ModelError::OutOfDomain {
+                field: fd.name().to_owned(),
+                value,
+                max,
+            });
+        }
+    }
+    Ok(())
+}
+
 impl CompiledFdd {
+    /// The scalar walk over a field-major batch: identical to
+    /// [`CompiledFdd::decide`] but reading `columns[field][i]` directly, so
+    /// the batch is never reassembled into row-major temporaries.
+    #[inline]
+    pub(crate) fn decide_column(&self, batch: &PacketBatch, i: usize) -> Decision {
+        let mut idx = self.root as usize;
+        loop {
+            let n = self.nodes[idx];
+            match n.kind {
+                crate::compile::KIND_TERMINAL => return crate::compile::decision_from_u16(n.field),
+                crate::compile::KIND_JUMP => {
+                    let v = batch.columns[n.field as usize][i];
+                    idx = self.jump[n.off as usize + v as usize] as usize;
+                }
+                _ => {
+                    let v = batch.columns[n.field as usize][i];
+                    let off = n.off as usize;
+                    let len = n.len as usize;
+                    let k = crate::compile::lower_bound(&self.cuts[off..off + len], v);
+                    idx = self.cut_targets[off + k] as usize;
+                }
+            }
+        }
+    }
+
     /// Classifies every packet of a field-major batch, returning decisions
     /// in packet order.
     ///
@@ -111,13 +219,7 @@ impl CompiledFdd {
         }
         out.clear();
         out.reserve(batch.len());
-        let mut values = vec![0u64; self.schema().len()];
-        for i in 0..batch.len() {
-            for (f, v) in values.iter_mut().enumerate() {
-                *v = batch.columns[f][i];
-            }
-            out.push(self.decide(&values));
-        }
+        out.extend((0..batch.len()).map(|i| self.decide_column(batch, i)));
         Ok(())
     }
 }
@@ -141,6 +243,55 @@ mod tests {
         let by_rows = compiled.classify_batch(trace.packets());
         let by_cols = compiled.classify_columns(&batch).unwrap();
         assert_eq!(by_rows, by_cols);
+    }
+
+    #[test]
+    fn from_trace_and_from_columns_agree_with_from_packets() {
+        let fw = fw_synth::Synthesizer::new(4).firewall(12);
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), 123, 9);
+        let a = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+        let b = PacketBatch::from_trace(fw.schema().clone(), trace.packets()).unwrap();
+        let cols = (0..fw.schema().len())
+            .map(|f| a.column(f).to_vec())
+            .collect();
+        let c = PacketBatch::from_columns(fw.schema().clone(), cols).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged_and_invalid() {
+        let schema = Schema::paper_example();
+        let d = schema.len();
+        let ok: Vec<Vec<u64>> = (0..d).map(|_| vec![0, 1]).collect();
+        assert!(PacketBatch::from_columns(schema.clone(), ok.clone()).is_ok());
+        let mut ragged = ok.clone();
+        ragged[1].push(0);
+        assert!(matches!(
+            PacketBatch::from_columns(schema.clone(), ragged),
+            Err(ExecError::Batch(_))
+        ));
+        let mut short = ok.clone();
+        short.pop();
+        assert!(matches!(
+            PacketBatch::from_columns(schema.clone(), short),
+            Err(ExecError::Model(ModelError::ArityMismatch { .. }))
+        ));
+        let mut wild = ok;
+        wild[0][1] = u64::MAX;
+        assert!(matches!(
+            PacketBatch::from_columns(schema, wild),
+            Err(ExecError::Model(ModelError::OutOfDomain { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_columns_make_an_empty_batch() {
+        let schema = Schema::paper_example();
+        let cols: Vec<Vec<u64>> = (0..schema.len()).map(|_| Vec::new()).collect();
+        let batch = PacketBatch::from_columns(schema, cols).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
     }
 
     #[test]

@@ -40,9 +40,15 @@ pub(crate) const KIND_JUMP: u8 = 2;
 /// * `KIND_JUMP` — `field` indexes the packet; `jump[off..off+len]` maps
 ///   every domain value directly to its next-node index (`len` = domain
 ///   size).
+///
+/// `level` is the node's BFS depth from the root. Ids are assigned in BFS
+/// order, so nodes of one level occupy a contiguous arena range
+/// ([`CompiledFdd::level_starts`]); the lane kernel relies on that to turn
+/// a frontier sorted by node index into streaming arena reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct NodeDesc {
     pub(crate) kind: u8,
+    pub(crate) level: u8,
     pub(crate) field: u16,
     pub(crate) off: u32,
     pub(crate) len: u32,
@@ -68,6 +74,9 @@ pub struct CompileStats {
     pub arena_bytes: usize,
     /// Maximum number of lookups on any root-to-decision walk.
     pub max_depth: usize,
+    /// Number of BFS levels (contiguous arena ranges the lane kernel
+    /// streams through); at most `max_depth + 1`.
+    pub levels: usize,
 }
 
 /// A firewall decision diagram lowered to a flat, cache-friendly matcher.
@@ -83,6 +92,14 @@ pub struct CompiledFdd {
     pub(crate) cuts: Vec<u64>,
     pub(crate) cut_targets: Vec<u32>,
     pub(crate) jump: Vec<u32>,
+    /// `level_starts[k]..level_starts[k + 1]` is the arena range of BFS
+    /// level `k` (`level_starts.len()` = level count + 1). Derived from the
+    /// per-node `level` bytes, which decoding re-validates against a fresh
+    /// BFS of the image.
+    pub(crate) level_starts: Vec<u32>,
+    /// Search-only mirror of the arenas that the lane kernel runs on;
+    /// derived (never serialized) — see `kernel.rs`.
+    pub(crate) lanes: crate::kernel::LaneArena,
     pub(crate) stats: CompileStats,
 }
 
@@ -90,7 +107,7 @@ pub struct CompiledFdd {
 /// a single conditional move per halving, with no data-dependent branch for
 /// the predictor to miss on adversarial traces.
 #[inline]
-fn lower_bound(cuts: &[u64], v: u64) -> usize {
+pub(crate) fn lower_bound(cuts: &[u64], v: u64) -> usize {
     let mut base = 0usize;
     let mut size = cuts.len();
     while size > 1 {
@@ -106,15 +123,30 @@ fn lower_bound(cuts: &[u64], v: u64) -> usize {
 }
 
 #[inline]
-fn decision_from_u16(code: u16) -> Decision {
-    // Codes are validated at compile/decode time; the catch-all arm is
-    // unreachable for a well-formed matcher.
-    match code {
-        0 => Decision::Accept,
-        1 => Decision::Discard,
-        2 => Decision::AcceptLog,
-        _ => Decision::DiscardLog,
+pub(crate) fn decision_from_u16(code: u16) -> Decision {
+    // Codes are validated at compile/decode time, so this cannot fail on a
+    // matcher that came through a constructor. If a corrupted image reaches
+    // us anyway, fail closed (drop the packet) rather than silently mapping
+    // unknown codes onto a valid decision.
+    let decoded = u8::try_from(code)
+        .ok()
+        .and_then(|c| Decision::from_code(c).ok());
+    debug_assert!(decoded.is_some(), "corrupt terminal decision code {code}");
+    decoded.unwrap_or(Decision::Discard)
+}
+
+/// Rebuilds the level-range table from per-node BFS levels, which arrive
+/// non-decreasing in arena order (a structural invariant checked by
+/// [`CompiledFdd::validate_structure`]).
+pub(crate) fn build_level_starts(nodes: &[NodeDesc]) -> Vec<u32> {
+    let mut starts = vec![0u32];
+    for (i, n) in nodes.iter().enumerate() {
+        while starts.len() <= n.level as usize {
+            starts.push(u32::try_from(i).expect("arena indexed by u32"));
+        }
     }
+    starts.push(u32::try_from(nodes.len()).expect("arena indexed by u32"));
+    starts
 }
 
 impl CompiledFdd {
@@ -133,15 +165,24 @@ impl CompiledFdd {
         let schema = fdd.schema().clone();
 
         // Pass 1: BFS from the root assigns dense ids (root = 0) and fixes
-        // the emission order, preserving DAG sharing.
+        // the emission order, preserving DAG sharing. The queue discipline
+        // also yields each node's BFS depth (first-discovery distance), and
+        // because depth-k nodes are enumerated before any depth-(k+1) node,
+        // ids of one level form a contiguous range — the level-contiguity
+        // invariant the lane kernel streams on.
         let mut ids: HashMap<fw_core::NodeId, u32> = HashMap::new();
         let mut order: Vec<fw_core::NodeId> = Vec::new();
+        let mut levels: Vec<u8> = Vec::new();
         let mut queue = VecDeque::new();
         ids.insert(fdd.root(), 0);
         order.push(fdd.root());
+        levels.push(0);
         queue.push_back(fdd.root());
         while let Some(src) = queue.pop_front() {
             if let NodeView::Internal { edges, .. } = fdd.view(src) {
+                let next_level = levels[ids[&src] as usize]
+                    .checked_add(1)
+                    .ok_or_else(|| ExecError::Invariant("diagram exceeds 255 BFS levels".into()))?;
                 for e in edges {
                     if let std::collections::hash_map::Entry::Vacant(slot) = ids.entry(e.target()) {
                         let id = u32::try_from(order.len()).map_err(|_| {
@@ -149,6 +190,7 @@ impl CompiledFdd {
                         })?;
                         slot.insert(id);
                         order.push(e.target());
+                        levels.push(next_level);
                         queue.push_back(e.target());
                     }
                 }
@@ -160,10 +202,11 @@ impl CompiledFdd {
         let mut cuts: Vec<u64> = Vec::new();
         let mut cut_targets: Vec<u32> = Vec::new();
         let mut jump: Vec<u32> = Vec::new();
-        for &src in &order {
+        for (&src, &level) in order.iter().zip(&levels) {
             match fdd.view(src) {
                 NodeView::Terminal(d) => nodes.push(NodeDesc {
                     kind: KIND_TERMINAL,
+                    level,
                     field: u16::from(d.code()),
                     off: 0,
                     len: 0,
@@ -216,6 +259,7 @@ impl CompiledFdd {
                         }
                         nodes.push(NodeDesc {
                             kind: KIND_JUMP,
+                            level,
                             field: fidx,
                             off,
                             len: u32::try_from(size).expect("<= 256"),
@@ -230,6 +274,7 @@ impl CompiledFdd {
                         }
                         nodes.push(NodeDesc {
                             kind: KIND_SEARCH,
+                            level,
                             field: fidx,
                             off,
                             len: u32::try_from(spans.len()).map_err(|_| {
@@ -241,6 +286,8 @@ impl CompiledFdd {
             }
         }
 
+        let level_starts = build_level_starts(&nodes);
+        let lanes = crate::kernel::LaneArena::build(&nodes, &cuts, &cut_targets, &jump);
         let mut compiled = CompiledFdd {
             schema,
             root: 0,
@@ -248,6 +295,8 @@ impl CompiledFdd {
             cuts,
             cut_targets,
             jump,
+            level_starts,
+            lanes,
             stats: CompileStats {
                 nodes: 0,
                 terminals: 0,
@@ -257,6 +306,7 @@ impl CompiledFdd {
                 jump_entries: 0,
                 arena_bytes: 0,
                 max_depth: 0,
+                levels: 0,
             },
         };
         compiled.stats = compiled.compute_stats();
@@ -374,8 +424,11 @@ impl CompiledFdd {
             arena_bytes: self.nodes.len() * std::mem::size_of::<NodeDesc>()
                 + self.cuts.len() * 8
                 + self.cut_targets.len() * 4
-                + self.jump.len() * 4,
+                + self.jump.len() * 4
+                + self.level_starts.len() * 4
+                + self.lanes.bytes(),
             max_depth: 0,
+            levels: self.level_starts.len().saturating_sub(1),
         };
         for n in &self.nodes {
             match n.kind {
@@ -488,6 +541,44 @@ impl CompiledFdd {
                     }
                 }
                 other => return err(format!("node {i}: unknown kind {other}")),
+            }
+        }
+        // Level metadata: recorded levels must be non-decreasing in arena
+        // order (the contiguity invariant `level_starts` and the lane
+        // kernel's streaming order rely on), and on every reachable node
+        // they must equal the true BFS depth, re-derived here rather than
+        // trusted from the image.
+        if !self.nodes.windows(2).all(|w| w[0].level <= w[1].level) {
+            return err("node levels not contiguous in arena order".into());
+        }
+        let mut depth = vec![0u8; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        visited[self.root as usize] = true;
+        queue.push_back(self.root as usize);
+        while let Some(i) = queue.pop_front() {
+            let n = self.nodes[i];
+            if n.level != depth[i] {
+                return err(format!(
+                    "node {i}: recorded level {} but BFS depth {}",
+                    n.level, depth[i]
+                ));
+            }
+            let targets: &[u32] = match n.kind {
+                KIND_TERMINAL => &[],
+                KIND_JUMP => &self.jump[n.off as usize..(n.off + n.len) as usize],
+                _ => &self.cut_targets[n.off as usize..(n.off + n.len) as usize],
+            };
+            for &t in targets {
+                let t = t as usize;
+                if !visited[t] {
+                    visited[t] = true;
+                    depth[t] = match depth[i].checked_add(1) {
+                        Some(d) => d,
+                        None => return err(format!("node {t}: BFS depth exceeds 255")),
+                    };
+                    queue.push_back(t);
+                }
             }
         }
         Ok(())

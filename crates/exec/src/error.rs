@@ -19,6 +19,9 @@ pub enum ExecError {
     /// A wire image failed to decode (truncation, bad magic/version, schema
     /// mismatch, or structurally invalid content).
     Wire(String),
+    /// A batch construction or lane-kernel configuration error (ragged
+    /// columns, zero lane width).
+    Batch(String),
 }
 
 impl fmt::Display for ExecError {
@@ -28,6 +31,7 @@ impl fmt::Display for ExecError {
             ExecError::Model(e) => write!(f, "model error: {e}"),
             ExecError::Invariant(m) => write!(f, "lowering invariant violated: {m}"),
             ExecError::Wire(m) => write!(f, "wire format error: {m}"),
+            ExecError::Batch(m) => write!(f, "batch error: {m}"),
         }
     }
 }
@@ -66,5 +70,6 @@ mod tests {
         assert!(ExecError::from(ModelError::EmptySchema).source().is_some());
         assert!(ExecError::Invariant("x".into()).source().is_none());
         assert!(ExecError::Wire("y".into()).to_string().contains("wire"));
+        assert!(ExecError::Batch("z".into()).to_string().contains("batch"));
     }
 }

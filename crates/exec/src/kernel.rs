@@ -1,0 +1,427 @@
+//! Level-synchronous lane kernel: SIMD-style batch classification.
+//!
+//! The scalar paths ([`CompiledFdd::classify`], the column walk) finish one
+//! packet's whole root-to-terminal chain before starting the next. On an
+//! out-of-order core that loop is not load-latency-bound — the core happily
+//! overlaps the independent chains of neighbouring packets — it is
+//! *mispredict*-bound: every node transition retires two data-dependent
+//! branches (the `match` on node kind and the exit of the `lower_bound`
+//! halving loop, whose trip count follows the cut count of whatever node
+//! the packet happens to hit), and a ~20-cycle flush per step swamps the
+//! handful of cheap arena loads.
+//!
+//! The lane kernel removes those branches instead of hiding them:
+//!
+//! * **One node shape.** At lowering time every compiled node is re-expressed
+//!   in a uniform *search-only* side arena ([`LaneArena`]): jump tables are
+//!   run-length-encoded back into sorted cut form, and terminals become
+//!   one-cut nodes whose single target is themselves. A kernel step is
+//!   therefore always the same code — read a field column, binary-search a
+//!   cut slice, follow the target — with no kind dispatch. Terminals
+//!   self-loop, so finished lanes idle harmlessly instead of needing a
+//!   frontier compaction.
+//! * **One trip count.** Every node's cut slice is padded to the same
+//!   power of two — `1 << bits`, sized by the *widest* node in the arena
+//!   ([`LaneArena::bits`]) — by repeating its final domain-max cut and that
+//!   cut's target, so a probe can never leave the node and never needs
+//!   clamping. The search is then the classic branchless halving: exactly
+//!   `bits` iterations of load + compare + conditional add, per lane, per
+//!   pass, always. Monomorphising the chunk loop on `bits` unrolls it into
+//!   straight-line code; the branch predictor sees nothing but counted
+//!   loops. (Past `2^8` cuts the padding multiplier stops paying and a
+//!   length-clamped fallback loop takes over — same semantics, just not
+//!   unrolled.)
+//! * **Level-synchronous passes.** All `lane_width` packets of a chunk
+//!   advance one FDD level per pass, and [`CompileStats::max_depth`] (the
+//!   verified longest root-to-decision walk) bounds the pass count exactly:
+//!   the kernel runs `max_depth` passes with no "is everyone done yet"
+//!   scan and then harvests decisions. Node ids are BFS-ordered, so a
+//!   pass's descriptor reads move monotonically through the arena
+//!   (`CompiledFdd::level_starts` records the level ranges, re-validated on
+//!   decode).
+//!
+//! Within a pass the per-lane steps are fully independent, so the core
+//! overlaps many packets' loads; across the lane the uniform body is
+//! exactly the shape LLVM unrolls and schedules as straight-line
+//! conditional-move code (no nightly `std::simd`, no new dependencies).
+
+use fw_model::Decision;
+
+use crate::compile::{decision_from_u16, NodeDesc, KIND_JUMP, KIND_TERMINAL};
+use crate::{CompiledFdd, ExecError, PacketBatch};
+
+/// Default lane width for [`CompiledFdd::classify_lanes`].
+///
+/// 32 packets keep a chunk's whole mutable state (32 `u32` node cursors)
+/// inside two cache lines next to the output slice while giving the
+/// out-of-order core far more independent steps per pass than it can
+/// retire per cycle. `BENCH_exec.json`'s sweep shows throughput flat
+/// within noise from 16 lanes up; narrower chunks re-run the pass-loop
+/// bookkeeping too often.
+pub const DEFAULT_LANE_WIDTH: usize = 32;
+
+/// One node of the uniform kernel arena: always a cut search, never a jump
+/// table or an explicit terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KNode {
+    /// Column to probe (0 for terminal self-loops; the read is harmless).
+    field: u32,
+    /// Start of this node's cut/target slice in [`LaneArena::cuts`].
+    off: u32,
+    /// Cut count. Kept for probe clamping; the loop trip count is the
+    /// arena-wide [`LaneArena::bits`] instead.
+    len: u32,
+}
+
+/// Widest node (in cut count, after mirroring) that still gets the padded
+/// power-of-two layout; `1 << PAD_MAX_BITS` cuts. Beyond this the padding's
+/// memory multiplier stops paying and the kernel takes the length-clamped
+/// fallback loop instead.
+const PAD_MAX_BITS: u32 = 8;
+
+/// The search-only mirror of a compiled matcher that the lane kernel runs
+/// on. Derived deterministically from the canonical arenas at compile and
+/// decode time; never serialized (the FWEX image stays in the canonical
+/// three-arena form).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct LaneArena {
+    nodes: Vec<KNode>,
+    /// Sorted upper bounds, all nodes concatenated. Terminals contribute a
+    /// single `u64::MAX` cut; jump tables are run-length-encoded back into
+    /// the cut convention (upper bound per constant run of targets). When
+    /// `bits <= PAD_MAX_BITS` every node is padded to exactly `1 << bits`
+    /// cuts by repeating its final (domain-max) cut, so a probe never needs
+    /// clamping — a duplicated cut duplicates its target, so landing
+    /// anywhere in the pad resolves identically.
+    cuts: Vec<u64>,
+    /// Target node id per cut, parallel to `cuts`. A terminal's target is
+    /// itself, which is what makes finished lanes self-loop.
+    targets: Vec<u32>,
+    /// Fixed bitwise-search iteration count: number of bits of the widest
+    /// node's cut count. Every search of every pass runs exactly this many
+    /// branch-free halvings.
+    bits: u32,
+}
+
+impl LaneArena {
+    /// Mirrors the canonical arenas into uniform search-only form. Assumes
+    /// structurally valid input (the constructors validate before calling).
+    pub(crate) fn build(
+        nodes: &[NodeDesc],
+        cuts: &[u64],
+        cut_targets: &[u32],
+        jump: &[u32],
+    ) -> LaneArena {
+        // Mirror pass: every node as (sorted cuts, parallel targets).
+        let mut mirrored: Vec<(u32, Vec<u64>, Vec<u32>)> = Vec::with_capacity(nodes.len());
+        let mut max_len = 1usize;
+        for (i, n) in nodes.iter().enumerate() {
+            let (field, nc, nt) = match n.kind {
+                KIND_TERMINAL => (
+                    0,
+                    vec![u64::MAX],
+                    vec![u32::try_from(i).expect("arena indexed by u32")],
+                ),
+                KIND_JUMP => {
+                    // Undo the dense expansion: one cut per constant run of
+                    // the table, upper bound = the run's last domain value.
+                    let table = &jump[n.off as usize..(n.off + n.len) as usize];
+                    let (mut nc, mut nt) = (Vec::new(), Vec::new());
+                    let mut v = 0usize;
+                    while v < table.len() {
+                        let t = table[v];
+                        while v + 1 < table.len() && table[v + 1] == t {
+                            v += 1;
+                        }
+                        nc.push(v as u64);
+                        nt.push(t);
+                        v += 1;
+                    }
+                    (u32::from(n.field), nc, nt)
+                }
+                _ => {
+                    let (o, l) = (n.off as usize, n.len as usize);
+                    (
+                        u32::from(n.field),
+                        cuts[o..o + l].to_vec(),
+                        cut_targets[o..o + l].to_vec(),
+                    )
+                }
+            };
+            max_len = max_len.max(nc.len());
+            mirrored.push((field, nc, nt));
+        }
+
+        // Layout pass: concatenate, padding to `1 << bits` per node while
+        // the multiplier is affordable so probes never clamp.
+        let bits = usize::BITS - max_len.leading_zeros();
+        let pad_to = if bits <= PAD_MAX_BITS {
+            1usize << bits
+        } else {
+            0
+        };
+        let mut arena = LaneArena {
+            bits,
+            ..LaneArena::default()
+        };
+        for (field, nc, nt) in mirrored {
+            let off = u32::try_from(arena.cuts.len()).expect("mirror arenas within u32");
+            let len = u32::try_from(nc.len()).expect("node cuts within u32");
+            let pad = pad_to.saturating_sub(nc.len());
+            let (&last_cut, &last_target) = (
+                nc.last().expect("no empty nodes"),
+                nt.last().expect("no empty nodes"),
+            );
+            arena.cuts.extend(nc);
+            arena.targets.extend(nt);
+            arena.cuts.extend(std::iter::repeat_n(last_cut, pad));
+            arena.targets.extend(std::iter::repeat_n(last_target, pad));
+            arena.nodes.push(KNode { field, off, len });
+        }
+        arena
+    }
+
+    /// Bytes of the mirrored arena, for [`CompileStats`] accounting.
+    ///
+    /// [`CompileStats`]: crate::CompileStats
+    pub(crate) fn bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<KNode>()
+            + self.cuts.len() * 8
+            + self.targets.len() * 4
+    }
+}
+
+impl CompiledFdd {
+    /// Classifies a field-major batch with the level-synchronous lane
+    /// kernel, `lane_width` packets in flight at a time.
+    ///
+    /// Decisions are identical to [`CompiledFdd::classify_columns`] (and
+    /// every other engine); only the schedule differs. `lane_width` trades
+    /// per-chunk state footprint against pass-loop overhead —
+    /// [`DEFAULT_LANE_WIDTH`] is a good default; any positive width,
+    /// including widths above the batch length, is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Model`] if the batch was built over a different
+    /// schema, or [`ExecError::Batch`] for a zero `lane_width`.
+    pub fn classify_lanes(
+        &self,
+        batch: &PacketBatch,
+        lane_width: usize,
+    ) -> Result<Vec<Decision>, ExecError> {
+        let mut out = Vec::new();
+        self.classify_lanes_into(batch, lane_width, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`CompiledFdd::classify_lanes`], into a caller-provided buffer
+    /// (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledFdd::classify_lanes`].
+    pub fn classify_lanes_into(
+        &self,
+        batch: &PacketBatch,
+        lane_width: usize,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ExecError> {
+        if lane_width == 0 {
+            return Err(ExecError::Batch("lane width must be at least 1".into()));
+        }
+        if batch.schema() != self.schema() {
+            return Err(ExecError::Model(fw_model::ModelError::ArityMismatch {
+                expected: self.schema().len(),
+                found: batch.schema().len(),
+            }));
+        }
+        out.clear();
+        out.resize(batch.len(), Decision::Discard);
+        let mut state: Vec<u32> = Vec::with_capacity(lane_width.min(batch.len()));
+        let mut cols: Vec<&[u64]> = Vec::with_capacity(self.schema().len());
+        let mut start = 0;
+        while start < batch.len() {
+            let w = lane_width.min(batch.len() - start);
+            cols.clear();
+            cols.extend((0..self.schema().len()).map(|f| &batch.column(f)[start..start + w]));
+            // Monomorphise on the trip count so the bitwise search unrolls
+            // into straight-line conditional moves — the whole point of
+            // fixing the count arena-wide. Eight bits cover 256 cuts; wider
+            // nodes (unbounded rule sets) take the generic-loop fallback.
+            match self.lanes.bits {
+                1 => self.lanes_chunk::<1>(&cols, w, &mut state),
+                2 => self.lanes_chunk::<2>(&cols, w, &mut state),
+                3 => self.lanes_chunk::<3>(&cols, w, &mut state),
+                4 => self.lanes_chunk::<4>(&cols, w, &mut state),
+                5 => self.lanes_chunk::<5>(&cols, w, &mut state),
+                6 => self.lanes_chunk::<6>(&cols, w, &mut state),
+                7 => self.lanes_chunk::<7>(&cols, w, &mut state),
+                8 => self.lanes_chunk::<8>(&cols, w, &mut state),
+                b => self.lanes_chunk_any(b, &cols, w, &mut state),
+            }
+            for (cursor, slot) in state.iter().zip(&mut out[start..start + w]) {
+                let n = self.nodes[*cursor as usize];
+                debug_assert!(
+                    n.kind == KIND_TERMINAL,
+                    "lane stopped on an internal node after max_depth passes"
+                );
+                *slot = decision_from_u16(n.field);
+            }
+            start += w;
+        }
+        Ok(())
+    }
+
+    /// Runs one chunk of `w` lanes level-synchronously to completion:
+    /// exactly `max_depth` uniform passes (the verified longest
+    /// root-to-decision walk, so every cursor ends on a — possibly
+    /// self-looped — terminal). `cols` holds the chunk's slice of every
+    /// field column; `state` is the reused node-cursor scratch, left
+    /// holding the final terminal per lane.
+    fn lanes_chunk<const BITS: u32>(&self, cols: &[&[u64]], w: usize, state: &mut Vec<u32>) {
+        let arena = &self.lanes;
+        state.clear();
+        state.resize(w, self.root);
+        for _pass in 0..self.stats.max_depth {
+            for (l, cursor) in state.iter_mut().enumerate() {
+                let n = arena.nodes[*cursor as usize];
+                let v = cols[n.field as usize][l];
+                let node_cuts = &arena.cuts[n.off as usize..n.off as usize + (1 << BITS)];
+                // Branchless lower bound over the padded power-of-two cut
+                // slice: BITS halvings, each one load + compare +
+                // conditional add, no clamping and no length in sight.
+                // `base` ends on the first cut `>= v` (somewhere in the
+                // duplicate pad for values past the node's real cuts, where
+                // the duplicated target makes the landing spot irrelevant).
+                let mut base = 0usize;
+                for i in 0..BITS {
+                    let half = 1usize << (BITS - 1 - i);
+                    base += usize::from(node_cuts[base + half - 1] < v) * half;
+                }
+                *cursor = arena.targets[n.off as usize + base];
+            }
+        }
+    }
+
+    /// Runtime-trip-count fallback of [`CompiledFdd::lanes_chunk`] for
+    /// arenas whose widest node exceeds 2^8 cuts. Identical semantics;
+    /// the search loop just cannot unroll.
+    fn lanes_chunk_any(&self, bits: u32, cols: &[&[u64]], w: usize, state: &mut Vec<u32>) {
+        let arena = &self.lanes;
+        state.clear();
+        state.resize(w, self.root);
+        for _pass in 0..self.stats.max_depth {
+            for (l, cursor) in state.iter_mut().enumerate() {
+                let n = arena.nodes[*cursor as usize];
+                let v = cols[n.field as usize][l];
+                let len = n.len as usize;
+                let node_cuts = &arena.cuts[n.off as usize..n.off as usize + len];
+                let mut pos = 0usize;
+                let mut bit = 1usize << (bits - 1);
+                while bit != 0 {
+                    let next = pos | bit;
+                    let take = (next <= len) & (node_cuts[next.min(len) - 1] < v);
+                    pos |= if take { bit } else { 0 };
+                    bit >>= 1;
+                }
+                *cursor = arena.targets[n.off as usize + pos];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, Packet, Schema};
+
+    fn batch_of(fw: &fw_model::Firewall, n: usize, seed: u64) -> PacketBatch {
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), n, seed);
+        PacketBatch::from_trace(fw.schema().clone(), trace.packets()).unwrap()
+    }
+
+    #[test]
+    fn lanes_match_scalar_across_widths_and_ragged_lengths() {
+        let fw = fw_synth::Synthesizer::new(77).firewall(40);
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        for n in [1usize, 31, 32, 33, 257] {
+            let batch = batch_of(&fw, n, 1000 + n as u64);
+            let scalar = compiled.classify_columns(&batch).unwrap();
+            for width in [1usize, 3, 32, 33, n, n + 7] {
+                let lanes = compiled.classify_lanes(&batch, width).unwrap();
+                assert_eq!(scalar, lanes, "n={n}, width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_into_reuses_buffer_and_handles_empty() {
+        let fw = paper::team_b();
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let batch = batch_of(&fw, 100, 3);
+        let mut out = vec![Decision::AcceptLog; 7];
+        compiled
+            .classify_lanes_into(&batch, DEFAULT_LANE_WIDTH, &mut out)
+            .unwrap();
+        assert_eq!(out, compiled.classify_columns(&batch).unwrap());
+        let empty = PacketBatch::from_trace(fw.schema().clone(), &[]).unwrap();
+        compiled.classify_lanes_into(&empty, 4, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_lane_width_and_schema_mismatch_rejected() {
+        let compiled = CompiledFdd::from_firewall(&paper::team_a()).unwrap();
+        let batch = batch_of(&paper::team_a(), 8, 5);
+        assert!(matches!(
+            compiled.classify_lanes(&batch, 0),
+            Err(ExecError::Batch(_))
+        ));
+        let other =
+            PacketBatch::from_trace(Schema::tcp_ip(), &[Packet::new(vec![1, 2, 3, 4, 5])]).unwrap();
+        assert!(matches!(
+            compiled.classify_lanes(&other, 8),
+            Err(ExecError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn single_terminal_policy_classifies_in_one_pass() {
+        let schema = Schema::paper_example();
+        let fw = fw_model::Firewall::parse(schema.clone(), "* -> discard-log\n").unwrap();
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        assert_eq!(compiled.stats().levels, 1);
+        let batch = batch_of(&fw, 50, 9);
+        let lanes = compiled.classify_lanes(&batch, 16).unwrap();
+        assert!(lanes.iter().all(|&d| d == Decision::DiscardLog));
+    }
+
+    #[test]
+    fn mirror_arena_is_search_only_and_self_consistent() {
+        let fw = fw_synth::Synthesizer::new(3).firewall(30);
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let arena = &compiled.lanes;
+        assert_eq!(arena.nodes.len(), compiled.nodes.len());
+        assert_eq!(arena.cuts.len(), arena.targets.len());
+        assert!(arena.bits >= 1);
+        let padded = 1usize << arena.bits;
+        for (i, (kn, n)) in arena.nodes.iter().zip(&compiled.nodes).enumerate() {
+            let (off, len) = (kn.off as usize, kn.len as usize);
+            let real = &arena.cuts[off..off + len];
+            assert!(real.windows(2).all(|c| c[0] < c[1]), "node {i} cuts sorted");
+            assert!(len <= padded, "node {i} within the trip budget");
+            let pad = &arena.cuts[off + len..off + padded];
+            assert!(
+                pad.iter().all(|&c| c == real[len - 1])
+                    && arena.targets[off + len..off + padded]
+                        .iter()
+                        .all(|&t| t == arena.targets[off + len - 1]),
+                "node {i} pad repeats the domain-max cut and its target"
+            );
+            if n.kind == KIND_TERMINAL {
+                assert_eq!((real, arena.targets[off]), (&[u64::MAX][..], i as u32));
+            }
+        }
+    }
+}

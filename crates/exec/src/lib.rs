@@ -19,6 +19,11 @@
 //!   `&[Packet]` without per-packet allocation;
 //! * [`PacketBatch`] and [`CompiledFdd::classify_columns`] — a field-major
 //!   (column) packet layout for cache-friendly replay of large traces;
+//! * [`CompiledFdd::classify_lanes`] — the level-synchronous lane kernel:
+//!   a structure-of-arrays frontier of [`DEFAULT_LANE_WIDTH`] packets
+//!   advanced one FDD level per pass, with same-node runs resolved through
+//!   one shared cut array so the branchless search autovectorises (the
+//!   batch fast path — see `kernel.rs` for the scheduling story);
 //! * [`CompiledFdd::encode`] / [`CompiledFdd::decode`] — a fixed-width
 //!   little-endian wire format in the same `bytes` conventions as
 //!   `fw_synth::PacketTrace`, so a compiled policy can be shipped to the
@@ -48,8 +53,10 @@
 mod batch;
 mod compile;
 mod error;
+mod kernel;
 mod wire;
 
 pub use batch::PacketBatch;
 pub use compile::{CompileStats, CompiledFdd, JUMP_TABLE_MAX_BITS};
 pub use error::ExecError;
+pub use kernel::DEFAULT_LANE_WIDTH;

@@ -7,28 +7,34 @@
 //! accessors.
 //!
 //! ```text
-//! u32 magic "FWEX"   u32 version = 1
+//! u32 magic "FWEX"   u32 version = 2
 //! u32 d              (field count)      d × u32 field bit-widths
 //! u32 root           u32 node count
 //! u32 cuts len       u32 jump len
-//! nodes:  per node   u32 (kind << 16 | field), u32 off, u32 len
+//! nodes:  per node   u32 (level << 24 | kind << 16 | field), u32 off, u32 len
 //! cuts:   u64 × len  (upper bounds)
 //! cut_targets: u32 × cuts len
 //! jump:   u32 × len
 //! ```
 //!
+//! Version 2 added the per-node BFS `level` byte (the lane kernel's
+//! level-contiguity metadata) to the previously spare high byte of the
+//! node word; version 1 images are rejected rather than guessed at.
+//!
 //! Decoding re-validates the full structure ([`CompiledFdd::decode`] never
-//! yields a matcher that can loop or index out of bounds on valid packets)
-//! and recomputes [`crate::CompileStats`] rather than trusting the image.
+//! yields a matcher that can loop or index out of bounds on valid packets),
+//! including a fresh BFS that checks every recorded level against the true
+//! depth, and recomputes [`crate::CompileStats`] rather than trusting the
+//! image.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fw_model::Schema;
 
-use crate::compile::NodeDesc;
+use crate::compile::{build_level_starts, NodeDesc};
 use crate::{CompiledFdd, ExecError};
 
 const MAGIC: u32 = 0x4657_4558; // "FWEX"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 impl CompiledFdd {
     /// Encodes the matcher to its wire image.
@@ -49,7 +55,9 @@ impl CompiledFdd {
         buf.put_u32_le(u32::try_from(self.cuts.len()).expect("arena fits u32"));
         buf.put_u32_le(u32::try_from(self.jump.len()).expect("arena fits u32"));
         for n in &self.nodes {
-            buf.put_u32_le((u32::from(n.kind) << 16) | u32::from(n.field));
+            buf.put_u32_le(
+                (u32::from(n.level) << 24) | (u32::from(n.kind) << 16) | u32::from(n.field),
+            );
             buf.put_u32_le(n.off);
             buf.put_u32_le(n.len);
         }
@@ -119,10 +127,9 @@ impl CompiledFdd {
         let mut nodes = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
             let word = bytes.get_u32_le();
-            let kind = u8::try_from(word >> 16)
-                .map_err(|_| ExecError::Wire(format!("bad node word {word:#x}")))?;
             nodes.push(NodeDesc {
-                kind,
+                kind: ((word >> 16) & 0xFF) as u8,
+                level: (word >> 24) as u8,
                 field: (word & 0xFFFF) as u16,
                 off: bytes.get_u32_le(),
                 len: bytes.get_u32_le(),
@@ -132,6 +139,7 @@ impl CompiledFdd {
         let cut_targets: Vec<u32> = (0..n_cuts).map(|_| bytes.get_u32_le()).collect();
         let jump: Vec<u32> = (0..n_jump).map(|_| bytes.get_u32_le()).collect();
 
+        let level_starts = build_level_starts(&nodes);
         let mut compiled = CompiledFdd {
             schema,
             root,
@@ -139,6 +147,8 @@ impl CompiledFdd {
             cuts,
             cut_targets,
             jump,
+            level_starts,
+            lanes: crate::kernel::LaneArena::default(),
             stats: crate::CompileStats {
                 nodes: 0,
                 terminals: 0,
@@ -148,9 +158,19 @@ impl CompiledFdd {
                 jump_entries: 0,
                 arena_bytes: 0,
                 max_depth: 0,
+                levels: 0,
             },
         };
         compiled.validate_structure()?;
+        // Mirror the validated arenas for the lane kernel, then account for
+        // them in the stats — order matters, `LaneArena::build` trusts the
+        // structure checks above and `compute_stats` sizes the mirror.
+        compiled.lanes = crate::kernel::LaneArena::build(
+            &compiled.nodes,
+            &compiled.cuts,
+            &compiled.cut_targets,
+            &compiled.jump,
+        );
         compiled.stats = compiled.compute_stats();
         Ok(compiled)
     }

@@ -1,27 +1,45 @@
-//! Three-way execution oracle for the compiled classification runtime:
+//! Four-way execution oracle for the compiled classification runtime:
 //! on every packet of every trace, the O(n·d) linear first-match scan
-//! ([`Firewall::decision_for`]), the plain FDD walk ([`Fdd::evaluate`])
-//! and the flat compiled matcher ([`CompiledFdd::classify`]) must return
-//! the same decision — on random policies, biased traces, wire-format
-//! round trips, and an exhaustive all-packets sweep of a tiny schema.
+//! ([`Firewall::decision_for`]), the plain FDD walk ([`Fdd::evaluate`]),
+//! the flat compiled matcher ([`CompiledFdd::classify`], row- and
+//! column-major) and the level-synchronous lane kernel
+//! ([`CompiledFdd::classify_lanes`], across lane widths and ragged batch
+//! lengths) must return the same decision — on random policies, biased
+//! traces, wire-format round trips (including the v2 level metadata), and
+//! an exhaustive all-packets sweep of a tiny schema.
 
 use diverse_firewall::core::Fdd;
-use diverse_firewall::exec::{CompiledFdd, PacketBatch};
+use diverse_firewall::exec::{CompiledFdd, PacketBatch, DEFAULT_LANE_WIDTH};
 use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
 use diverse_firewall::synth::{PacketTrace, Synthesizer};
 use proptest::prelude::*;
 
+/// Lane widths that stress the kernel's chunking: degenerate (1), prime
+/// and misaligned (3, 33), the tuned default, and one chunk per batch.
+fn lane_widths(batch_len: usize) -> [usize; 5] {
+    [
+        1,
+        3,
+        DEFAULT_LANE_WIDTH,
+        DEFAULT_LANE_WIDTH + 1,
+        batch_len.max(1),
+    ]
+}
+
 /// Assert all engines agree on every packet of `trace`, including the
-/// decoded wire image and both batch entry points.
-fn assert_three_way(fw: &Firewall, trace: &PacketTrace, tag: &str) {
+/// decoded wire image, both batch entry points, and the lane kernel at
+/// every width of [`lane_widths`] (ragged final chunks included whenever
+/// the trace length is not a width multiple).
+fn assert_four_way(fw: &Firewall, trace: &PacketTrace, tag: &str) {
     let fdd = Fdd::from_firewall_fast(fw).unwrap();
     let compiled = CompiledFdd::from_firewall(fw).unwrap();
     let reloaded = CompiledFdd::decode(fw.schema().clone(), compiled.encode()).unwrap();
-    let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+    let batch = PacketBatch::from_trace(fw.schema().clone(), trace.packets()).unwrap();
 
     let mut batched = Vec::new();
     compiled.classify_batch_into(trace.packets(), &mut batched);
     let columns = compiled.classify_columns(&batch).unwrap();
+    let lanes = compiled.classify_lanes(&batch, DEFAULT_LANE_WIDTH).unwrap();
     for (i, p) in trace.packets().iter().enumerate() {
         let linear = fw.decision_for(p).expect("comprehensive policy");
         let walked = fdd.evaluate(p);
@@ -30,10 +48,23 @@ fn assert_three_way(fw: &Firewall, trace: &PacketTrace, tag: &str) {
         assert_eq!(linear, classified, "{tag}: compiled diverges at {p}");
         assert_eq!(linear, batched[i], "{tag}: batch diverges at {p}");
         assert_eq!(linear, columns[i], "{tag}: column batch diverges at {p}");
+        assert_eq!(linear, lanes[i], "{tag}: lane kernel diverges at {p}");
         assert_eq!(
             linear,
             reloaded.classify(p),
             "{tag}: decoded wire image diverges at {p}"
+        );
+    }
+    for width in lane_widths(batch.len()) {
+        let at_width = compiled.classify_lanes(&batch, width).unwrap();
+        assert_eq!(
+            at_width, lanes,
+            "{tag}: lane kernel diverges at width {width}"
+        );
+        let decoded_lanes = reloaded.classify_lanes(&batch, width).unwrap();
+        assert_eq!(
+            decoded_lanes, lanes,
+            "{tag}: decoded lane kernel diverges at width {width}"
         );
     }
 }
@@ -50,10 +81,12 @@ proptest! {
         trace_seed in 0u64..1_000,
     ) {
         let fw = Synthesizer::new(seed).firewall(rules);
-        let random = PacketTrace::random(fw.schema().clone(), 400, trace_seed);
-        assert_three_way(&fw, &random, "random trace");
-        let biased = PacketTrace::biased(&fw, 400, 0.3, trace_seed + 1);
-        assert_three_way(&fw, &biased, "biased trace");
+        // 401 packets: prime-ish, so every lane width in the sweep leaves a
+        // ragged final chunk.
+        let random = PacketTrace::random(fw.schema().clone(), 401, trace_seed);
+        assert_four_way(&fw, &random, "random trace");
+        let biased = PacketTrace::biased(&fw, 401, 0.3, trace_seed + 1);
+        assert_four_way(&fw, &biased, "biased trace");
     }
 }
 
@@ -83,16 +116,61 @@ fn engines_match_exhaustive_oracle_on_tiny_schema() {
         let fdd = Fdd::from_firewall_fast(&fw).unwrap();
         let compiled = CompiledFdd::from_firewall(&fw).unwrap();
         let reloaded = CompiledFdd::decode(schema.clone(), compiled.encode()).unwrap();
-        for a in 0..8u64 {
-            for b in 0..8u64 {
-                let p = Packet::new(vec![a, b]);
-                let linear = fw.decision_for(&p).unwrap();
-                assert_eq!(linear, fdd.evaluate(&p), "policy {k}, walk at {p}");
-                assert_eq!(linear, compiled.classify(&p), "policy {k}, compiled at {p}");
-                assert_eq!(linear, reloaded.classify(&p), "policy {k}, decoded at {p}");
-            }
+        let all: Vec<Packet> = (0..8u64)
+            .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+            .collect();
+        let mut linears = Vec::new();
+        for p in &all {
+            let linear = fw.decision_for(p).unwrap();
+            assert_eq!(linear, fdd.evaluate(p), "policy {k}, walk at {p}");
+            assert_eq!(linear, compiled.classify(p), "policy {k}, compiled at {p}");
+            assert_eq!(linear, reloaded.classify(p), "policy {k}, decoded at {p}");
+            linears.push(linear);
+        }
+        // The whole domain through the lane kernel, at every sweep width:
+        // 64 packets is small enough that this is the exhaustive case.
+        let batch = PacketBatch::from_trace(schema.clone(), &all).unwrap();
+        for width in lane_widths(batch.len()) {
+            let lanes = compiled.classify_lanes(&batch, width).unwrap();
+            assert_eq!(lanes, linears, "policy {k}, lane kernel at width {width}");
         }
     }
+}
+
+/// The v2 wire format round-trips the per-node BFS level metadata exactly:
+/// the decoded matcher is indistinguishable from the original (stats,
+/// levels, lane-kernel mirror and all), and an image whose level byte is
+/// tampered with is rejected by the decoder's fresh-BFS re-validation
+/// rather than trusted.
+#[test]
+fn wire_round_trip_preserves_level_metadata_and_rejects_tampering() {
+    let fw = Synthesizer::new(99).firewall(60);
+    let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+    let image = compiled.encode();
+    let reloaded = CompiledFdd::decode(fw.schema().clone(), image.clone()).unwrap();
+    assert_eq!(
+        compiled, reloaded,
+        "decode must reproduce the matcher exactly"
+    );
+    let s = reloaded.stats();
+    assert!(s.levels >= 2, "real policies span multiple BFS levels");
+    assert!(s.levels <= s.max_depth + 1, "levels bounded by walk depth");
+
+    // Bump the recorded level of the *last* node (guaranteed non-root, and
+    // reachable — BFS emission order means every emitted node is reachable)
+    // in its node word's high byte: header is 8 u32s + one u32 per field,
+    // node i's packed word sits 3 u32s per node after that.
+    let d = fw.schema().len();
+    let mut bytes = image.to_vec();
+    let word_at = |n: usize| 4 * (8 + d + 3 * n);
+    let node_count = compiled.node_count();
+    let off = word_at(node_count - 1) + 3; // little-endian high byte = level
+    bytes[off] = bytes[off].wrapping_add(1);
+    let err = CompiledFdd::decode(fw.schema().clone(), bytes.into());
+    assert!(
+        err.is_err(),
+        "tampered level byte must fail the decoder's BFS re-validation"
+    );
 }
 
 /// The paper's running example compiles and serves the same decisions as
