@@ -1,0 +1,269 @@
+//! Incremental-recompile benchmark: applies deterministic edit batches
+//! (sizes 1/4/16, drawn from the `fw_synth::evolve` administrative-action
+//! mix) to the Fig. 12 real-life-sized and Fig. 13 `n=500` synthetic
+//! policies, then times the full relower (`CompiledFdd::from_firewall`)
+//! against the incremental splice (`CompiledFdd::recompile`) for each
+//! batch and writes `BENCH_recompile.json` with the shared-vs-fresh node
+//! and byte split of every swap.
+//!
+//! Run with: `cargo run --release -p fw-bench --bin recompile`
+//! (CI runs `-- --smoke`: one repeat, smaller oracle trace, same rows).
+//!
+//! Every policy and edit batch comes from fixed seeds, so matcher shapes
+//! and sharing ratios are reproducible run to run (only timings vary with
+//! the machine). The run is also an oracle: before any timing, the bin
+//! asserts the spliced image, a fresh compile of the post-edit policy,
+//! and the linear first-match scan agree on every packet of a replay
+//! trace, and that the spliced image round-trips the wire format.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fw_core::{ChangeImpact, Edit, Fdd};
+use fw_exec::CompiledFdd;
+use fw_model::{Decision, Firewall};
+use fw_synth::{evolve, EvolutionProfile, PacketTrace};
+
+const BATCHES: [usize; 3] = [1, 4, 16];
+
+struct Mode {
+    repeats: u32,
+    packets: usize,
+}
+
+struct Row {
+    workload: String,
+    rules: usize,
+    batch: usize,
+    affected_packets: u128,
+    impact_us: f64,
+    post_edit_fdd_us: f64,
+    full_us: f64,
+    incremental_us: f64,
+    nodes: usize,
+    nodes_shared: usize,
+    nodes_fresh: usize,
+    bytes_shared: usize,
+    bytes_fresh: usize,
+    lane_arena_rebuilt: bool,
+    lane_arena_bytes: usize,
+}
+
+fn median_us(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2] * 1e6
+}
+
+fn time_repeats(repeats: u32, mut f: impl FnMut()) -> Vec<f64> {
+    (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Single-rule rows use the pure decision-flip profile — the paper's
+/// "tighten or loosen one rule" edit, the shallowest realistic change and
+/// the one the incremental path must win on.
+fn flip_only() -> EvolutionProfile {
+    EvolutionProfile {
+        w_block_threat: 0,
+        w_open_service: 0,
+        w_delete: 0,
+        w_swap: 0,
+        w_flip_decision: 1,
+    }
+}
+
+/// A deterministic edit batch with a non-trivial impact, plus the timed
+/// impact analysis for the salt that produced it (flips of shadowed rules
+/// are no-ops; those salts are skipped so every row exercises a real
+/// splice).
+fn edit_batch(fw: &Firewall, k: usize, seed: u64) -> (Vec<Edit>, Firewall, ChangeImpact, f64) {
+    let profile = if k == 1 {
+        flip_only()
+    } else {
+        EvolutionProfile::default()
+    };
+    for salt in 0..64u64 {
+        let steps = evolve(fw, k, &profile, seed + salt * 7919);
+        let edits: Vec<Edit> = steps.into_iter().map(|s| s.edit).collect();
+        let t = Instant::now();
+        let (after, impact) = ChangeImpact::of_edits(fw, &edits).expect("evolution edits apply");
+        let impact_us = t.elapsed().as_secs_f64() * 1e6;
+        if !impact.is_noop() {
+            return (edits, after, impact, impact_us);
+        }
+    }
+    panic!("no effective edit batch for k={k} within 64 salts");
+}
+
+fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, seed: u64) {
+    let base = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
+    let trace = PacketTrace::biased(fw, mode.packets, 0.3, seed);
+    for (bi, k) in BATCHES.into_iter().enumerate() {
+        let (_edits, after, impact, impact_us) = edit_batch(fw, k, seed + bi as u64);
+
+        let t = Instant::now();
+        let fdd = Fdd::from_firewall_fast(&after)
+            .expect("post-edit policies are comprehensive")
+            .reduced();
+        let post_edit_fdd_us = t.elapsed().as_secs_f64() * 1e6;
+
+        // The oracle's compile and splice double as the first timing
+        // sample, so single-repeat (smoke) rows do each exactly once.
+        let t = Instant::now();
+        let (spliced, stats) = base.recompile(&fdd, &impact).expect("splice succeeds");
+        let incremental_first = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let full = CompiledFdd::from_firewall(&after).expect("post-edit policies compile");
+        let full_first = t.elapsed().as_secs_f64();
+
+        // Oracle before timing: spliced == fresh == linear scan on the
+        // whole trace, and the spliced image survives the wire format's
+        // independent re-validation.
+        let mut spliced_out = Vec::new();
+        let mut full_out = Vec::new();
+        spliced.classify_batch_into(trace.packets(), &mut spliced_out);
+        full.classify_batch_into(trace.packets(), &mut full_out);
+        let linear: Vec<Decision> = trace
+            .packets()
+            .iter()
+            .map(|p| after.decision_for(p).expect("comprehensive policy"))
+            .collect();
+        assert_eq!(spliced_out, full_out, "{name}/k={k}: splice diverges");
+        assert_eq!(spliced_out, linear, "{name}/k={k}: compiled diverges");
+        CompiledFdd::decode(fw.schema().clone(), spliced.encode())
+            .expect("spliced image round-trips");
+
+        let mut full_times = vec![full_first];
+        full_times.extend(time_repeats(mode.repeats - 1, || {
+            std::hint::black_box(CompiledFdd::from_firewall(&after).expect("compiles"));
+        }));
+        let full_us = median_us(full_times);
+        let mut incremental_times = vec![incremental_first];
+        incremental_times.extend(time_repeats(mode.repeats - 1, || {
+            std::hint::black_box(base.recompile(&fdd, &impact).expect("splices"));
+        }));
+        let incremental_us = median_us(incremental_times);
+
+        println!(
+            "{name} k={k}: full {full_us:.0} µs | incremental {incremental_us:.0} µs \
+             (x{:.1}) | {}/{} nodes reused, {} B shared, {} B fresh{}",
+            full_us / incremental_us,
+            stats.nodes_shared,
+            stats.nodes,
+            stats.bytes_shared,
+            stats.bytes_fresh,
+            if stats.lane_arena_rebuilt {
+                ", lane mirror rebuilt"
+            } else {
+                ""
+            },
+        );
+        rows.push(Row {
+            workload: name.to_owned(),
+            rules: fw.len(),
+            batch: k,
+            affected_packets: impact.affected_packets(),
+            impact_us,
+            post_edit_fdd_us,
+            full_us,
+            incremental_us,
+            nodes: stats.nodes,
+            nodes_shared: stats.nodes_shared,
+            nodes_fresh: stats.nodes_fresh,
+            bytes_shared: stats.bytes_shared,
+            bytes_fresh: stats.bytes_fresh,
+            lane_arena_rebuilt: stats.lane_arena_rebuilt,
+            lane_arena_bytes: spliced.stats().lane_arena_bytes,
+        });
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke {
+        Mode {
+            repeats: 1,
+            packets: 2_000,
+        }
+    } else {
+        Mode {
+            repeats: 3,
+            packets: 8_000,
+        }
+    };
+    let started = Instant::now();
+    let mut rows = Vec::new();
+
+    bench_workload(
+        &mut rows,
+        &mode,
+        "fig12/avg(42)",
+        &fw_synth::university_average(),
+        10,
+    );
+    bench_workload(
+        &mut rows,
+        &mode,
+        "fig12/large(661)",
+        &fw_synth::university_large(),
+        20,
+    );
+    bench_workload(
+        &mut rows,
+        &mode,
+        "fig13/synth-n500",
+        &fw_synth::Synthesizer::new(302).firewall(500),
+        40,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"repeats\": {},", mode.repeats);
+    let _ = writeln!(json, "  \"packets_per_trace\": {},", mode.packets);
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"rules\": {}, \"batch\": {}, \
+             \"affected_packets\": {}, \"impact_us\": {:.1}, \"post_edit_fdd_us\": {:.1}, \
+             \"full_us\": {:.1}, \"incremental_us\": {:.1}, \"speedup\": {:.2}, \
+             \"nodes\": {}, \"nodes_shared\": {}, \"nodes_fresh\": {}, \
+             \"bytes_shared\": {}, \"bytes_fresh\": {}, \"lane_arena_rebuilt\": {}, \
+             \"lane_arena_bytes\": {}}}{sep}",
+            r.workload,
+            r.rules,
+            r.batch,
+            r.affected_packets,
+            r.impact_us,
+            r.post_edit_fdd_us,
+            r.full_us,
+            r.incremental_us,
+            r.full_us / r.incremental_us,
+            r.nodes,
+            r.nodes_shared,
+            r.nodes_fresh,
+            r.bytes_shared,
+            r.bytes_fresh,
+            r.lane_arena_rebuilt,
+            r.lane_arena_bytes
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"total_ms\": {:.3}\n}}",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    std::fs::write("BENCH_recompile.json", &json).expect("write BENCH_recompile.json");
+    println!("wrote BENCH_recompile.json in {:?}", started.elapsed());
+}

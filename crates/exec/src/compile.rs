@@ -56,7 +56,7 @@ pub(crate) struct NodeDesc {
 
 /// Compiler accounting for one matcher, in the style of
 /// [`fw_core::FddStats`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompileStats {
     /// Total compiled nodes (terminals + internals).
     pub nodes: usize,
@@ -70,8 +70,14 @@ pub struct CompileStats {
     pub cut_points: usize,
     /// Total entries across all jump tables.
     pub jump_entries: usize,
-    /// Bytes of arena storage (descriptors + cuts + targets + jump tables).
+    /// Bytes of arena storage (descriptors + cuts + targets + jump tables +
+    /// the lane-kernel mirror).
     pub arena_bytes: usize,
+    /// Bytes of the lane kernel's padded search-only mirror alone — the
+    /// part of `arena_bytes` an incremental recompile copies (slice by
+    /// slice) rather than shares, reported separately so
+    /// `BENCH_recompile.json` can split shared from copied storage.
+    pub lane_arena_bytes: usize,
     /// Maximum number of lookups on any root-to-decision walk.
     pub max_depth: usize,
     /// Number of BFS levels (contiguous arena ranges the lane kernel
@@ -133,6 +139,100 @@ pub(crate) fn decision_from_u16(code: u16) -> Decision {
         .and_then(|c| Decision::from_code(c).ok());
     debug_assert!(decoded.is_some(), "corrupt terminal decision code {code}");
     decoded.unwrap_or(Decision::Discard)
+}
+
+/// Flattens an internal FDD node's edges into sorted `(lo, hi, target)`
+/// spans — targets resolved through `resolve` — and verifies they partition
+/// the field's domain, span by span. Shared by full compilation and the
+/// incremental splice path (`recompile.rs`), so both lower through exactly
+/// one partition check.
+pub(crate) fn sorted_spans<T: Copy>(
+    schema: &Schema,
+    src: fw_core::NodeId,
+    field: fw_model::FieldId,
+    edges: &[fw_core::Edge],
+    mut resolve: impl FnMut(fw_core::NodeId) -> T,
+) -> Result<Vec<(u64, u64, T)>, ExecError> {
+    let fd = schema.field(field);
+    let mut spans: Vec<(u64, u64, T)> = Vec::new();
+    for e in edges {
+        let t = resolve(e.target());
+        for iv in e.label().iter() {
+            spans.push((iv.lo(), iv.hi(), t));
+        }
+    }
+    spans.sort_unstable_by_key(|s| s.0);
+    let mut expect = 0u64;
+    for (i, &(lo, hi, _)) in spans.iter().enumerate() {
+        if lo != expect || hi < lo {
+            return Err(ExecError::Invariant(format!(
+                "edges of node {src} do not partition {} ([{lo},{hi}] after {expect})",
+                fd.name()
+            )));
+        }
+        if i + 1 < spans.len() {
+            expect = hi.checked_add(1).ok_or_else(|| {
+                ExecError::Invariant(format!(
+                    "span overflow lowering node {src} on {}",
+                    fd.name()
+                ))
+            })?;
+        } else if hi != fd.max() {
+            return Err(ExecError::Invariant(format!(
+                "edges of node {src} stop at {hi}, domain max is {}",
+                fd.max()
+            )));
+        }
+    }
+    Ok(spans)
+}
+
+/// Emits one internal node from its verified domain-partition spans
+/// (targets already arena indices): a dense jump table for narrow fields, a
+/// sorted cut array otherwise. Appends to the passed arenas and returns the
+/// descriptor.
+pub(crate) fn emit_internal(
+    schema: &Schema,
+    field: fw_model::FieldId,
+    level: u8,
+    spans: &[(u64, u64, u32)],
+    cuts: &mut Vec<u64>,
+    cut_targets: &mut Vec<u32>,
+    jump: &mut Vec<u32>,
+) -> Result<NodeDesc, ExecError> {
+    let fd = schema.field(field);
+    let fidx = u16::try_from(field.index())
+        .map_err(|_| ExecError::Invariant(format!("field index {field} exceeds u16")))?;
+    if fd.bits() <= JUMP_TABLE_MAX_BITS {
+        let size = fd.max() + 1; // at most 256
+        let off = u32::try_from(jump.len())
+            .map_err(|_| ExecError::Invariant("jump arena exceeds u32 indices".into()))?;
+        for &(lo, hi, t) in spans {
+            jump.extend(std::iter::repeat_n(t, (hi - lo + 1) as usize));
+        }
+        Ok(NodeDesc {
+            kind: KIND_JUMP,
+            level,
+            field: fidx,
+            off,
+            len: u32::try_from(size).expect("<= 256"),
+        })
+    } else {
+        let off = u32::try_from(cuts.len())
+            .map_err(|_| ExecError::Invariant("cut arena exceeds u32 indices".into()))?;
+        for &(_, hi, t) in spans {
+            cuts.push(hi);
+            cut_targets.push(t);
+        }
+        Ok(NodeDesc {
+            kind: KIND_SEARCH,
+            level,
+            field: fidx,
+            off,
+            len: u32::try_from(spans.len())
+                .map_err(|_| ExecError::Invariant("node exceeds u32 cuts".into()))?,
+        })
+    }
 }
 
 /// Rebuilds the level-range table from per-node BFS levels, which arrive
@@ -212,76 +312,19 @@ impl CompiledFdd {
                     len: 0,
                 }),
                 NodeView::Internal { field, edges } => {
-                    let fd = schema.field(field);
-                    let fidx = u16::try_from(field.index()).map_err(|_| {
-                        ExecError::Invariant(format!("field index {field} exceeds u16"))
-                    })?;
                     // Flatten edges to (lo, hi, target) spans and sort; a
                     // consistent + complete node yields a partition of the
                     // domain, which the lowering verifies span by span.
-                    let mut spans: Vec<(u64, u64, u32)> = Vec::new();
-                    for e in edges {
-                        let t = ids[&e.target()];
-                        for iv in e.label().iter() {
-                            spans.push((iv.lo(), iv.hi(), t));
-                        }
-                    }
-                    spans.sort_unstable_by_key(|s| s.0);
-                    let mut expect = 0u64;
-                    for (i, &(lo, hi, _)) in spans.iter().enumerate() {
-                        if lo != expect || hi < lo {
-                            return Err(ExecError::Invariant(format!(
-                                "edges of node {src} do not partition {} ([{lo},{hi}] after {expect})",
-                                fd.name()
-                            )));
-                        }
-                        if i + 1 < spans.len() {
-                            expect = hi.checked_add(1).ok_or_else(|| {
-                                ExecError::Invariant(format!(
-                                    "span overflow lowering node {src} on {}",
-                                    fd.name()
-                                ))
-                            })?;
-                        } else if hi != fd.max() {
-                            return Err(ExecError::Invariant(format!(
-                                "edges of node {src} stop at {hi}, domain max is {}",
-                                fd.max()
-                            )));
-                        }
-                    }
-                    if fd.bits() <= JUMP_TABLE_MAX_BITS {
-                        let size = fd.max() + 1; // at most 256
-                        let off = u32::try_from(jump.len()).map_err(|_| {
-                            ExecError::Invariant("jump arena exceeds u32 indices".into())
-                        })?;
-                        for &(lo, hi, t) in &spans {
-                            jump.extend(std::iter::repeat_n(t, (hi - lo + 1) as usize));
-                        }
-                        nodes.push(NodeDesc {
-                            kind: KIND_JUMP,
-                            level,
-                            field: fidx,
-                            off,
-                            len: u32::try_from(size).expect("<= 256"),
-                        });
-                    } else {
-                        let off = u32::try_from(cuts.len()).map_err(|_| {
-                            ExecError::Invariant("cut arena exceeds u32 indices".into())
-                        })?;
-                        for &(_, hi, t) in &spans {
-                            cuts.push(hi);
-                            cut_targets.push(t);
-                        }
-                        nodes.push(NodeDesc {
-                            kind: KIND_SEARCH,
-                            level,
-                            field: fidx,
-                            off,
-                            len: u32::try_from(spans.len()).map_err(|_| {
-                                ExecError::Invariant("node exceeds u32 cuts".into())
-                            })?,
-                        });
-                    }
+                    let spans = sorted_spans(&schema, src, field, edges, |t| ids[&t])?;
+                    nodes.push(emit_internal(
+                        &schema,
+                        field,
+                        level,
+                        &spans,
+                        &mut cuts,
+                        &mut cut_targets,
+                        &mut jump,
+                    )?);
                 }
             }
         }
@@ -297,17 +340,7 @@ impl CompiledFdd {
             jump,
             level_starts,
             lanes,
-            stats: CompileStats {
-                nodes: 0,
-                terminals: 0,
-                search_nodes: 0,
-                jump_nodes: 0,
-                cut_points: 0,
-                jump_entries: 0,
-                arena_bytes: 0,
-                max_depth: 0,
-                levels: 0,
-            },
+            stats: CompileStats::default(),
         };
         compiled.stats = compiled.compute_stats();
         Ok(compiled)
@@ -414,11 +447,9 @@ impl CompiledFdd {
     /// ordered-FDD property (targets test strictly later fields), which
     /// compilation preserves and decoding verifies.
     pub(crate) fn compute_stats(&self) -> CompileStats {
+        let lane_arena_bytes = self.lanes.bytes();
         let mut stats = CompileStats {
             nodes: self.nodes.len(),
-            terminals: 0,
-            search_nodes: 0,
-            jump_nodes: 0,
             cut_points: self.cuts.len(),
             jump_entries: self.jump.len(),
             arena_bytes: self.nodes.len() * std::mem::size_of::<NodeDesc>()
@@ -426,9 +457,10 @@ impl CompiledFdd {
                 + self.cut_targets.len() * 4
                 + self.jump.len() * 4
                 + self.level_starts.len() * 4
-                + self.lanes.bytes(),
-            max_depth: 0,
+                + lane_arena_bytes,
+            lane_arena_bytes,
             levels: self.level_starts.len().saturating_sub(1),
+            ..CompileStats::default()
         };
         for n in &self.nodes {
             match n.kind {
@@ -621,6 +653,10 @@ mod tests {
         assert_eq!(s.nodes, s.terminals + s.search_nodes + s.jump_nodes);
         assert!(s.max_depth <= compiled.schema().len());
         assert!(s.arena_bytes >= s.nodes * std::mem::size_of::<NodeDesc>());
+        assert!(
+            s.lane_arena_bytes > 0 && s.lane_arena_bytes < s.arena_bytes,
+            "mirror bytes broken out of (and counted in) the arena total"
+        );
     }
 
     #[test]

@@ -63,14 +63,14 @@ pub const DEFAULT_LANE_WIDTH: usize = 32;
 /// One node of the uniform kernel arena: always a cut search, never a jump
 /// table or an explicit terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct KNode {
+pub(crate) struct KNode {
     /// Column to probe (0 for terminal self-loops; the read is harmless).
-    field: u32,
+    pub(crate) field: u32,
     /// Start of this node's cut/target slice in [`LaneArena::cuts`].
-    off: u32,
+    pub(crate) off: u32,
     /// Cut count. Kept for probe clamping; the loop trip count is the
     /// arena-wide [`LaneArena::bits`] instead.
-    len: u32,
+    pub(crate) len: u32,
 }
 
 /// Widest node (in cut count, after mirroring) that still gets the padded
@@ -85,7 +85,7 @@ const PAD_MAX_BITS: u32 = 8;
 /// three-arena form).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct LaneArena {
-    nodes: Vec<KNode>,
+    pub(crate) nodes: Vec<KNode>,
     /// Sorted upper bounds, all nodes concatenated. Terminals contribute a
     /// single `u64::MAX` cut; jump tables are run-length-encoded back into
     /// the cut convention (upper bound per constant run of targets). When
@@ -93,17 +93,94 @@ pub(crate) struct LaneArena {
     /// cuts by repeating its final (domain-max) cut, so a probe never needs
     /// clamping — a duplicated cut duplicates its target, so landing
     /// anywhere in the pad resolves identically.
-    cuts: Vec<u64>,
+    pub(crate) cuts: Vec<u64>,
     /// Target node id per cut, parallel to `cuts`. A terminal's target is
     /// itself, which is what makes finished lanes self-loop.
-    targets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
     /// Fixed bitwise-search iteration count: number of bits of the widest
     /// node's cut count. Every search of every pass runs exactly this many
     /// branch-free halvings.
-    bits: u32,
+    pub(crate) bits: u32,
 }
 
 impl LaneArena {
+    /// Re-expresses one canonical node in uniform search form: `(field,
+    /// sorted cuts, parallel targets)`, unpadded. Terminals become one-cut
+    /// self-loops targeting `idx` (their own arena id); jump tables are
+    /// run-length-encoded back into the cut convention. The incremental
+    /// splice calls this per fresh node with exactly the semantics `build`
+    /// uses wholesale.
+    pub(crate) fn mirror_node(
+        idx: usize,
+        n: &NodeDesc,
+        cuts: &[u64],
+        cut_targets: &[u32],
+        jump: &[u32],
+    ) -> (u32, Vec<u64>, Vec<u32>) {
+        match n.kind {
+            KIND_TERMINAL => (
+                0,
+                vec![u64::MAX],
+                vec![u32::try_from(idx).expect("arena indexed by u32")],
+            ),
+            KIND_JUMP => {
+                // Undo the dense expansion: one cut per constant run of
+                // the table, upper bound = the run's last domain value.
+                let table = &jump[n.off as usize..(n.off + n.len) as usize];
+                let (mut nc, mut nt) = (Vec::new(), Vec::new());
+                let mut v = 0usize;
+                while v < table.len() {
+                    let t = table[v];
+                    while v + 1 < table.len() && table[v + 1] == t {
+                        v += 1;
+                    }
+                    nc.push(v as u64);
+                    nt.push(t);
+                    v += 1;
+                }
+                (u32::from(n.field), nc, nt)
+            }
+            _ => {
+                let (o, l) = (n.off as usize, n.len as usize);
+                (
+                    u32::from(n.field),
+                    cuts[o..o + l].to_vec(),
+                    cut_targets[o..o + l].to_vec(),
+                )
+            }
+        }
+    }
+
+    /// The per-node slice size in an arena of the given `bits`: padded to
+    /// `1 << bits` while affordable, the node's own cut count otherwise
+    /// (`0` here means "unpadded").
+    pub(crate) fn pad_to(bits: u32) -> usize {
+        if bits <= PAD_MAX_BITS {
+            1usize << bits
+        } else {
+            0
+        }
+    }
+
+    /// Appends one mirrored node, padding its cut slice to `pad_to` entries
+    /// (`0` = no padding) by repeating the final domain-max cut and its
+    /// target, so a probe can land anywhere in the pad and resolve
+    /// identically.
+    pub(crate) fn push_node(&mut self, field: u32, nc: &[u64], nt: &[u32], pad_to: usize) {
+        let off = u32::try_from(self.cuts.len()).expect("mirror arenas within u32");
+        let len = u32::try_from(nc.len()).expect("node cuts within u32");
+        let pad = pad_to.saturating_sub(nc.len());
+        let (&last_cut, &last_target) = (
+            nc.last().expect("no empty nodes"),
+            nt.last().expect("no empty nodes"),
+        );
+        self.cuts.extend_from_slice(nc);
+        self.targets.extend_from_slice(nt);
+        self.cuts.extend(std::iter::repeat_n(last_cut, pad));
+        self.targets.extend(std::iter::repeat_n(last_target, pad));
+        self.nodes.push(KNode { field, off, len });
+    }
+
     /// Mirrors the canonical arenas into uniform search-only form. Assumes
     /// structurally valid input (the constructors validate before calling).
     pub(crate) fn build(
@@ -116,38 +193,7 @@ impl LaneArena {
         let mut mirrored: Vec<(u32, Vec<u64>, Vec<u32>)> = Vec::with_capacity(nodes.len());
         let mut max_len = 1usize;
         for (i, n) in nodes.iter().enumerate() {
-            let (field, nc, nt) = match n.kind {
-                KIND_TERMINAL => (
-                    0,
-                    vec![u64::MAX],
-                    vec![u32::try_from(i).expect("arena indexed by u32")],
-                ),
-                KIND_JUMP => {
-                    // Undo the dense expansion: one cut per constant run of
-                    // the table, upper bound = the run's last domain value.
-                    let table = &jump[n.off as usize..(n.off + n.len) as usize];
-                    let (mut nc, mut nt) = (Vec::new(), Vec::new());
-                    let mut v = 0usize;
-                    while v < table.len() {
-                        let t = table[v];
-                        while v + 1 < table.len() && table[v + 1] == t {
-                            v += 1;
-                        }
-                        nc.push(v as u64);
-                        nt.push(t);
-                        v += 1;
-                    }
-                    (u32::from(n.field), nc, nt)
-                }
-                _ => {
-                    let (o, l) = (n.off as usize, n.len as usize);
-                    (
-                        u32::from(n.field),
-                        cuts[o..o + l].to_vec(),
-                        cut_targets[o..o + l].to_vec(),
-                    )
-                }
-            };
+            let (field, nc, nt) = LaneArena::mirror_node(i, n, cuts, cut_targets, jump);
             max_len = max_len.max(nc.len());
             mirrored.push((field, nc, nt));
         }
@@ -155,28 +201,13 @@ impl LaneArena {
         // Layout pass: concatenate, padding to `1 << bits` per node while
         // the multiplier is affordable so probes never clamp.
         let bits = usize::BITS - max_len.leading_zeros();
-        let pad_to = if bits <= PAD_MAX_BITS {
-            1usize << bits
-        } else {
-            0
-        };
+        let pad_to = LaneArena::pad_to(bits);
         let mut arena = LaneArena {
             bits,
             ..LaneArena::default()
         };
         for (field, nc, nt) in mirrored {
-            let off = u32::try_from(arena.cuts.len()).expect("mirror arenas within u32");
-            let len = u32::try_from(nc.len()).expect("node cuts within u32");
-            let pad = pad_to.saturating_sub(nc.len());
-            let (&last_cut, &last_target) = (
-                nc.last().expect("no empty nodes"),
-                nt.last().expect("no empty nodes"),
-            );
-            arena.cuts.extend(nc);
-            arena.targets.extend(nt);
-            arena.cuts.extend(std::iter::repeat_n(last_cut, pad));
-            arena.targets.extend(std::iter::repeat_n(last_target, pad));
-            arena.nodes.push(KNode { field, off, len });
+            arena.push_node(field, &nc, &nt, pad_to);
         }
         arena
     }

@@ -28,8 +28,17 @@
 //!   little-endian wire format in the same `bytes` conventions as
 //!   `fw_synth::PacketTrace`, so a compiled policy can be shipped to the
 //!   box that serves it;
-//! * [`CompileStats`] — node/arena/depth accounting in the style of
-//!   `fw_core::FddStats`.
+//! * [`CompiledFdd::recompile`] — incremental recompilation: given the
+//!   post-edit FDD and the edit's `fw_core::ChangeImpact`, re-lower only
+//!   the changed subtrees and block-copy every untouched arena and
+//!   lane-mirror slice from the old image (see `recompile.rs`);
+//! * [`LiveMatcher`] — online serving: the policy plus its image behind an
+//!   atomically swapped `Arc`, where [`LiveMatcher::apply_edits`] runs the
+//!   edit→impact→incremental-recompile pipeline and in-flight snapshots
+//!   finish on the image they started with (see `live.rs`);
+//! * [`CompileStats`] / [`RecompileStats`] — node/arena/depth accounting in
+//!   the style of `fw_core::FddStats`, plus the shared-vs-fresh split of an
+//!   incremental swap.
 //!
 //! # Example
 //!
@@ -54,9 +63,13 @@ mod batch;
 mod compile;
 mod error;
 mod kernel;
+mod live;
+mod recompile;
 mod wire;
 
 pub use batch::PacketBatch;
 pub use compile::{CompileStats, CompiledFdd, JUMP_TABLE_MAX_BITS};
 pub use error::ExecError;
 pub use kernel::DEFAULT_LANE_WIDTH;
+pub use live::{LiveMatcher, SwapReport};
+pub use recompile::RecompileStats;

@@ -1,0 +1,245 @@
+//! Online serving with atomic image hot-swap.
+//!
+//! A [`LiveMatcher`] owns the policy being served and publishes its
+//! compiled image behind an [`Arc`]: readers take a cheap clone of the
+//! current pointer ([`LiveMatcher::load`]) and classify against that
+//! snapshot for as long as they like; an edit builds the next image off to
+//! the side (incrementally, via [`CompiledFdd::recompile`]) and swaps the
+//! pointer when it is ready. In-flight `classify`/`classify_lanes` calls
+//! finish on the image they started with — a swap never invalidates a
+//! snapshot, it only stops handing it out.
+//!
+//! The swap itself is a pointer store under a [`RwLock`] — the hand-rolled
+//! equivalent of an `arc-swap` within this crate's `forbid(unsafe_code)`:
+//! readers hold the read lock only for the nanoseconds of an `Arc` clone
+//! (never during classification), and the single writer holds the write
+//! lock only for the store. Writers serialize on the policy mutex for the
+//! whole edit→impact→recompile pipeline, so concurrent edit batches apply
+//! in a definite order; the [`epoch`](LiveMatcher::epoch) counter ticks
+//! once per published image for cheap change detection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use fw_core::{ChangeImpact, Edit, Fdd};
+use fw_model::{Decision, Firewall, Packet};
+
+use crate::{CompiledFdd, ExecError, RecompileStats};
+
+/// A served firewall: the authoritative policy plus the hot-swappable
+/// compiled image, with edits applied through change-impact analysis and
+/// incremental recompilation.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_exec::ExecError> {
+/// use fw_core::Edit;
+/// use fw_exec::LiveMatcher;
+/// use fw_model::paper;
+///
+/// let live = LiveMatcher::new(paper::team_a())?;
+/// let snapshot = live.load();          // serving threads hold snapshots
+/// let fw = live.policy();
+/// let flip = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+/// let report = live.apply_edits(&[Edit::Replace { index: 0, rule: flip }])?;
+/// assert!(report.swapped && live.epoch() == report.epoch);
+/// // `snapshot` still classifies with the pre-edit semantics.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LiveMatcher {
+    /// The authoritative rule list; the mutex serializes writers across the
+    /// whole edit pipeline (readers never touch it).
+    policy: Mutex<Firewall>,
+    /// The published image. Readers only clone the `Arc` under the read
+    /// lock; classification happens entirely on the clone.
+    image: RwLock<Arc<CompiledFdd>>,
+    /// Ticks once per published image (a rejected or no-op edit batch does
+    /// not tick).
+    epoch: AtomicU64,
+}
+
+/// What one [`LiveMatcher::apply_edits`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Whether a new image was published (`false` for a no-op batch — the
+    /// old image stays, snapshot-identical).
+    pub swapped: bool,
+    /// The epoch after this call.
+    pub epoch: u64,
+    /// Packets whose decision changed, from the impact analysis.
+    pub affected_packets: u128,
+    /// The incremental recompile's shared/fresh accounting (`None` for a
+    /// no-op batch).
+    pub recompile: Option<RecompileStats>,
+}
+
+impl LiveMatcher {
+    /// Compiles `policy` and starts serving it at epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledFdd::from_firewall`].
+    pub fn new(policy: Firewall) -> Result<LiveMatcher, ExecError> {
+        let image = CompiledFdd::from_firewall(&policy)?;
+        Ok(LiveMatcher {
+            policy: Mutex::new(policy),
+            image: RwLock::new(Arc::new(image)),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The current image. The returned snapshot stays valid (and keeps
+    /// classifying with its own semantics) across any number of later
+    /// swaps; long-lived serving loops should hold one and
+    /// [`load`](Self::load) again at batch boundaries.
+    pub fn load(&self) -> Arc<CompiledFdd> {
+        Arc::clone(&self.image.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The current epoch: 0 at construction, +1 per published image.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A clone of the authoritative policy as of the last applied batch.
+    pub fn policy(&self) -> Firewall {
+        self.policy
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Classifies one packet against the current image (one snapshot per
+    /// call; batch workloads should [`load`](Self::load) once instead).
+    pub fn classify(&self, packet: &Packet) -> Decision {
+        self.load().classify(packet)
+    }
+
+    /// Applies an edit batch: impact analysis, post-edit FDD, incremental
+    /// recompile against the current image, atomic swap. A no-op batch
+    /// (every packet decides as before) updates the stored policy text but
+    /// publishes nothing — the served image is already correct.
+    ///
+    /// Writers serialize: concurrent calls apply in mutex order, each
+    /// against the policy the previous one left. Readers are never blocked
+    /// beyond the pointer store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Core`] for edits that do not apply (bad index,
+    /// non-comprehensive result) and the usual compile errors; the served
+    /// image and stored policy are untouched on error.
+    pub fn apply_edits(&self, edits: &[Edit]) -> Result<SwapReport, ExecError> {
+        let mut policy = self.policy.lock().unwrap_or_else(PoisonError::into_inner);
+        let (after, impact) = ChangeImpact::of_edits(&policy, edits)?;
+        let affected_packets = impact.affected_packets();
+        if impact.is_noop() {
+            *policy = after;
+            return Ok(SwapReport {
+                swapped: false,
+                epoch: self.epoch(),
+                affected_packets,
+                recompile: None,
+            });
+        }
+        let fdd = Fdd::from_firewall_fast(&after)?.reduced();
+        let current = self.load();
+        let (next, stats) = current.recompile(&fdd, &impact)?;
+        *self.image.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *policy = after;
+        Ok(SwapReport {
+            swapped: true,
+            epoch,
+            affected_packets,
+            recompile: Some(stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    #[test]
+    fn swap_publishes_new_semantics_and_keeps_old_snapshots() {
+        let fw = fw_synth::Synthesizer::new(42).firewall(30);
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        let before = live.load();
+        assert_eq!(live.epoch(), 0);
+
+        let flip = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: 0,
+                rule: flip,
+            }])
+            .unwrap();
+        assert!(report.swapped);
+        assert_eq!((report.epoch, live.epoch()), (1, 1));
+        assert!(report.affected_packets > 0);
+        assert!(report.recompile.is_some());
+
+        let after_fw = live.policy();
+        let after = live.load();
+        assert!(!Arc::ptr_eq(&before, &after));
+        let trace = fw_synth::PacketTrace::biased(&fw, 1_000, 0.3, 5);
+        for p in trace.packets() {
+            // The old snapshot still serves the old policy; the new image
+            // serves the edited one.
+            assert_eq!(Some(before.classify(p)), fw.decision_for(p));
+            assert_eq!(Some(after.classify(p)), after_fw.decision_for(p));
+            assert_eq!(live.classify(p), after.classify(p));
+        }
+    }
+
+    #[test]
+    fn noop_batch_keeps_the_image_and_epoch() {
+        let fw = paper::team_b();
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        let before = live.load();
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: 1,
+                rule: fw.rules()[1].clone(),
+            }])
+            .unwrap();
+        assert!(!report.swapped);
+        assert_eq!(report.affected_packets, 0);
+        assert_eq!(live.epoch(), 0);
+        assert!(Arc::ptr_eq(&before, &live.load()));
+    }
+
+    #[test]
+    fn failed_edit_leaves_everything_untouched() {
+        let live = LiveMatcher::new(paper::team_a()).unwrap();
+        let before = live.load();
+        assert!(live.apply_edits(&[Edit::Remove { index: 99 }]).is_err());
+        assert_eq!(live.epoch(), 0);
+        assert!(Arc::ptr_eq(&before, &live.load()));
+        assert_eq!(live.policy(), paper::team_a());
+    }
+
+    #[test]
+    fn sequential_batches_compose() {
+        let fw = fw_synth::Synthesizer::new(9).firewall(25);
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        let mut expect = fw.clone();
+        for i in 0..4usize {
+            let rule = expect.rules()[i].with_decision(expect.rules()[i].decision().inverted());
+            let edits = [Edit::Replace { index: i, rule }];
+            live.apply_edits(&edits).unwrap();
+            expect = edits[0].apply(&expect).unwrap();
+        }
+        assert_eq!(live.policy(), expect);
+        let img = live.load();
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), 1_000, 13);
+        for p in trace.packets() {
+            assert_eq!(Some(img.classify(p)), expect.decision_for(p));
+        }
+    }
+}

@@ -149,17 +149,7 @@ impl CompiledFdd {
             jump,
             level_starts,
             lanes: crate::kernel::LaneArena::default(),
-            stats: crate::CompileStats {
-                nodes: 0,
-                terminals: 0,
-                search_nodes: 0,
-                jump_nodes: 0,
-                cut_points: 0,
-                jump_entries: 0,
-                arena_bytes: 0,
-                max_depth: 0,
-                levels: 0,
-            },
+            stats: crate::CompileStats::default(),
         };
         compiled.validate_structure()?;
         // Mirror the validated arenas for the lane kernel, then account for

@@ -8,7 +8,7 @@
 //!             [--trace FILE | --random N | --biased N] [--scatter F]
 //!             [--seed S] [--engine scalar|columns|lanes] [--lane-width W]
 //!             [--save-trace FILE] [--save-compiled FILE]
-//!             [--check] <policy.fw>
+//!             [--edits FILE] [--check] <policy.fw>
 //!
 //! ENGINE (default scalar):
 //!     --engine scalar   row-major walk, packet by packet
@@ -35,6 +35,16 @@
 //!                     three engines agree on every packet of the trace
 //!     --save-trace    write the replayed trace for later runs
 //!     --save-compiled write the compiled matcher's wire image
+//!
+//! EDIT REPLAY:
+//!     --edits FILE    after the trace replay, apply the file's policy edits
+//!                     one at a time, timing a full recompile
+//!                     (CompiledFdd::from_firewall) against the incremental
+//!                     splice (CompiledFdd::recompile) for each and
+//!                     verifying both agree on the whole trace. Lines are
+//!                     `insert IDX RULE`, `replace IDX RULE`, `remove IDX`,
+//!                     `swap I J` (RULE in the fw_model rule DSL); blank
+//!                     lines and `#` comments are skipped.
 //! ```
 //!
 //! Policy files use the rule DSL of `fw_model::parse` or `iptables-save`
@@ -52,7 +62,8 @@ fn usage() -> ExitCode {
         "usage: fwclass [--schema tcp-ip|paper] [--format dsl|iptables] \
          [--trace FILE | --random N | --biased N] [--scatter F] [--seed S] \
          [--engine scalar|columns|lanes] [--lane-width W] \
-         [--save-trace FILE] [--save-compiled FILE] [--check] <policy.fw>"
+         [--save-trace FILE] [--save-compiled FILE] [--edits FILE] \
+         [--check] <policy.fw>"
     );
     ExitCode::from(2)
 }
@@ -90,6 +101,7 @@ fn main() -> ExitCode {
     let mut lane_width = diverse_firewall::exec::DEFAULT_LANE_WIDTH;
     let mut save_trace: Option<String> = None;
     let mut save_compiled: Option<String> = None;
+    let mut edits_file: Option<String> = None;
     let mut check = false;
     let mut files: Vec<String> = Vec::new();
 
@@ -169,6 +181,10 @@ fn main() -> ExitCode {
             },
             "--save-compiled" => match args.next() {
                 Some(f) => save_compiled = Some(f),
+                None => return usage(),
+            },
+            "--edits" => match args.next() {
+                Some(f) => edits_file = Some(f),
                 None => return usage(),
             },
             "--check" => check = true,
@@ -315,10 +331,11 @@ fn main() -> ExitCode {
     let mpps = |n: usize, secs: f64| n as f64 / secs / 1e6;
     let n = trace.len();
     println!(
-        "compiled matcher ({}): {compiled_time:?} ({:.2} Mpps) | linear scan: {linear_time:?} \
-         ({:.2} Mpps) | speedup x{:.2}",
+        "compiled matcher ({}): {compiled_time:?} ({:.2} Mpps, compile {:.0} µs) | \
+         linear scan: {linear_time:?} ({:.2} Mpps) | speedup x{:.2}",
         engine.name(),
         mpps(n, compiled_time.as_secs_f64()),
+        compile_time.as_secs_f64() * 1e6,
         mpps(n, linear_time.as_secs_f64()),
         linear_time.as_secs_f64() / compiled_time.as_secs_f64()
     );
@@ -351,5 +368,172 @@ fn main() -> ExitCode {
             mpps(n, walk_time.as_secs_f64())
         );
     }
+
+    if let Some(path) = &edits_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fwclass: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let edits = match parse_edits(&schema, &text) {
+            Ok(e) => e,
+            Err(m) => {
+                eprintln!("fwclass: {path}: {m}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(code) = replay_edits(&fw, &compiled, &trace, &edits) {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Parses the `--edits` file: one edit per line (`insert IDX RULE`,
+/// `replace IDX RULE`, `remove IDX`, `swap I J`), rules in the DSL of
+/// `fw_model::parse`; blank lines and `#` comments skipped.
+fn parse_edits(schema: &Schema, text: &str) -> Result<Vec<diverse_firewall::core::Edit>, String> {
+    use diverse_firewall::core::Edit;
+    let mut edits = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: String| format!("edits line {}: {m}", lineno + 1);
+        let (op, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(format!("`{line}` has no operand")))?;
+        let rest = rest.trim();
+        let index = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| err(format!("bad index `{s}`")))
+        };
+        match op {
+            "insert" | "replace" => {
+                let (idx, rule_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(format!("{op} needs an index and a rule")))?;
+                let index = index(idx)?;
+                let rule = diverse_firewall::model::parse::parse_rule(schema, rule_text.trim())
+                    .map_err(|e| err(e.to_string()))?;
+                edits.push(if op == "insert" {
+                    Edit::Insert { index, rule }
+                } else {
+                    Edit::Replace { index, rule }
+                });
+            }
+            "remove" => edits.push(Edit::Remove {
+                index: index(rest)?,
+            }),
+            "swap" => {
+                let (a, b) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("swap needs two indices".into()))?;
+                edits.push(Edit::Swap {
+                    first: index(a.trim())?,
+                    second: index(b.trim())?,
+                });
+            }
+            other => return Err(err(format!("unknown edit `{other}`"))),
+        }
+    }
+    Ok(edits)
+}
+
+/// Applies each edit in sequence, timing the full recompile against the
+/// incremental splice and verifying both agree on the whole replay trace.
+fn replay_edits(
+    fw: &Firewall,
+    compiled: &CompiledFdd,
+    trace: &PacketTrace,
+    edits: &[diverse_firewall::core::Edit],
+) -> Result<(), ExitCode> {
+    use diverse_firewall::core::{ChangeImpact, Fdd};
+    if edits.is_empty() {
+        println!("edit replay: no edits in file");
+        return Ok(());
+    }
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let mut cur_fw = fw.clone();
+    let mut cur_img = compiled.clone();
+    let (mut full_out, mut inc_out) = (Vec::new(), Vec::new());
+    let (mut full_total, mut inc_total) = (0f64, 0f64);
+    for (i, e) in edits.iter().enumerate() {
+        let t = Instant::now();
+        let (after, impact) = match ChangeImpact::of_edits(&cur_fw, std::slice::from_ref(e)) {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let impact_us = us(t.elapsed());
+
+        let t = Instant::now();
+        let full = match CompiledFdd::from_firewall(&after) {
+            Ok(c) => c,
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: full recompile failed: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let full_us = us(t.elapsed());
+
+        let t = Instant::now();
+        let fdd = match Fdd::from_firewall_fast(&after) {
+            Ok(f) => f.reduced(),
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let fdd_us = us(t.elapsed());
+
+        let t = Instant::now();
+        let (inc, stats) = match cur_img.recompile(&fdd, &impact) {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: incremental recompile failed: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let inc_us = us(t.elapsed());
+
+        full.classify_batch_into(trace.packets(), &mut full_out);
+        inc.classify_batch_into(trace.packets(), &mut inc_out);
+        if full_out != inc_out {
+            eprintln!("fwclass: BUG: edit {i}: incremental image disagrees with full recompile");
+            return Err(ExitCode::FAILURE);
+        }
+        println!(
+            "edit {i}: full {full_us:.0} µs | incremental {inc_us:.0} µs (x{:.1}) | \
+             {}/{} nodes reused, {} B copied, {} B fresh{} | \
+             {} changed region(s), impact {impact_us:.0} µs, fdd {fdd_us:.0} µs",
+            full_us / inc_us,
+            stats.nodes_shared,
+            stats.nodes,
+            stats.bytes_shared,
+            stats.bytes_fresh,
+            if stats.lane_arena_rebuilt {
+                ", lane mirror rebuilt"
+            } else {
+                ""
+            },
+            impact.discrepancies().len()
+        );
+        full_total += full_us;
+        inc_total += inc_us;
+        cur_fw = after;
+        cur_img = inc;
+    }
+    println!(
+        "edit replay: {} edit(s), full {full_total:.0} µs vs incremental {inc_total:.0} µs \
+         (x{:.1}), all verified against the trace",
+        edits.len(),
+        full_total / inc_total
+    );
+    Ok(())
 }

@@ -1,0 +1,211 @@
+//! Equivalence oracle for incremental recompilation: for any edit batch,
+//! the image produced by [`CompiledFdd::recompile`] (splicing fresh
+//! subtrees into the pre-edit image) must be indistinguishable from a
+//! fresh [`CompiledFdd::from_firewall`] of the post-edit policy — same
+//! decision on every probed packet, through the scalar matcher, the lane
+//! kernel at several widths, and a wire-format round trip of the spliced
+//! image. Probed on random policies with `fw_synth::evolve` edit batches
+//! of sizes {1, 4, 16}, on chains of splices (each spliced image the base
+//! of the next), on guaranteed no-op batches, and exhaustively on every
+//! packet of a tiny 2-field schema.
+
+use diverse_firewall::core::{ChangeImpact, Edit, Fdd};
+use diverse_firewall::exec::{CompiledFdd, PacketBatch, DEFAULT_LANE_WIDTH};
+use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
+use diverse_firewall::synth::{evolve, EvolutionProfile, PacketTrace, Synthesizer};
+use proptest::prelude::*;
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+
+/// Lane widths that stress the spliced image's mirror: degenerate (1),
+/// misaligned (3), the tuned default, and one chunk per batch.
+fn lane_widths(batch_len: usize) -> [usize; 4] {
+    [1, 3, DEFAULT_LANE_WIDTH, batch_len.max(1)]
+}
+
+/// Applies `edits` to `fw` through the full incremental pipeline
+/// (impact → post-edit FDD → splice) and asserts the spliced image, a
+/// fresh compile, and a decode of the spliced wire image all agree with
+/// first-match semantics on every probe packet; returns the post-edit
+/// policy so callers can chain batches.
+fn assert_splice_agrees(fw: &Firewall, edits: &[Edit], packets: &[Packet], tag: &str) -> Firewall {
+    let base = CompiledFdd::from_firewall(fw).unwrap();
+    let (after, impact) = ChangeImpact::of_edits(fw, edits).unwrap();
+    let fdd = Fdd::from_firewall_fast(&after).unwrap().reduced();
+    let (spliced, stats) = base.recompile(&fdd, &impact).unwrap();
+    let fresh = CompiledFdd::from_firewall(&after).unwrap();
+    let reloaded = CompiledFdd::decode(fw.schema().clone(), spliced.encode()).unwrap();
+
+    assert_eq!(
+        stats.nodes,
+        stats.nodes_shared + stats.nodes_fresh,
+        "{tag}: node accounting"
+    );
+    if impact.is_noop() {
+        assert_eq!(stats.nodes_fresh, 0, "{tag}: no-op batch must share all");
+    }
+
+    let mut expect = Vec::with_capacity(packets.len());
+    for p in packets {
+        let linear = after.decision_for(p).expect("comprehensive policy");
+        assert_eq!(
+            linear,
+            spliced.classify(p),
+            "{tag}: spliced diverges at {p}"
+        );
+        assert_eq!(linear, fresh.classify(p), "{tag}: fresh diverges at {p}");
+        assert_eq!(
+            linear,
+            reloaded.classify(p),
+            "{tag}: decoded splice diverges at {p}"
+        );
+        expect.push(linear);
+    }
+    let batch = PacketBatch::from_trace(fw.schema().clone(), packets).unwrap();
+    for width in lane_widths(batch.len()) {
+        assert_eq!(
+            spliced.classify_lanes(&batch, width).unwrap(),
+            expect,
+            "{tag}: spliced lane kernel diverges at width {width}"
+        );
+    }
+    after
+}
+
+fn edits_for(fw: &Firewall, k: usize, seed: u64) -> Vec<Edit> {
+    evolve(fw, k, &EvolutionProfile::default(), seed)
+        .into_iter()
+        .map(|s| s.edit)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: on random synthesized policies, the incremental image is
+    /// equivalent to a fresh compile for edit batches of every size in
+    /// [`BATCH_SIZES`], probed on random and rule-region-biased traces.
+    #[test]
+    fn incremental_equals_fresh_on_random_policies(
+        seed in 0u64..10_000,
+        rules in 2usize..30,
+        edit_seed in 0u64..1_000,
+    ) {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let random = PacketTrace::random(fw.schema().clone(), 257, edit_seed);
+        let biased = PacketTrace::biased(&fw, 257, 0.3, edit_seed + 1);
+        let packets: Vec<Packet> = random
+            .packets()
+            .iter()
+            .chain(biased.packets())
+            .cloned()
+            .collect();
+        for k in BATCH_SIZES {
+            let edits = edits_for(&fw, k, edit_seed + k as u64);
+            assert_splice_agrees(&fw, &edits, &packets, &format!("k={k}"));
+        }
+    }
+}
+
+/// A batch that replaces every rule with itself is a semantic no-op: the
+/// impact is empty, the splice shares the entire image, and the result
+/// still serves the policy exactly.
+#[test]
+fn noop_batches_share_the_whole_image() {
+    for seed in [5u64, 17, 99] {
+        let fw = Synthesizer::new(seed).firewall(12);
+        let edits: Vec<Edit> = (0..fw.len())
+            .map(|i| Edit::Replace {
+                index: i,
+                rule: fw.rules()[i].clone(),
+            })
+            .collect();
+        let (_, impact) = ChangeImpact::of_edits(&fw, &edits).unwrap();
+        assert!(impact.is_noop(), "self-replacement must be a no-op");
+        let trace = PacketTrace::biased(&fw, 400, 0.3, seed);
+        assert_splice_agrees(&fw, &edits, trace.packets(), &format!("noop seed {seed}"));
+    }
+}
+
+/// Splice-of-splice: images produced by `recompile` are themselves valid
+/// bases for further incremental batches — a serving loop never needs a
+/// full recompile to stay correct.
+#[test]
+fn chained_splices_stay_equivalent() {
+    let fw = Synthesizer::new(7).firewall(20);
+    let mut cur = fw.clone();
+    let mut img = CompiledFdd::from_firewall(&fw).unwrap();
+    let trace = PacketTrace::random(fw.schema().clone(), 300, 3);
+    for step in 0..6u64 {
+        let edits = edits_for(&cur, 2, 100 + step);
+        let (after, impact) = ChangeImpact::of_edits(&cur, &edits).unwrap();
+        let fdd = Fdd::from_firewall_fast(&after).unwrap().reduced();
+        let (next, _) = img.recompile(&fdd, &impact).unwrap();
+        for p in trace.packets() {
+            assert_eq!(
+                next.classify(p),
+                after.decision_for(p).unwrap(),
+                "step {step}: chained splice diverges at {p}"
+            );
+        }
+        cur = after;
+        img = next;
+    }
+}
+
+/// Exhaustive oracle: on a tiny 2-field schema (3 bits each) all 64
+/// packets are enumerable, so the spliced image is checked cell-by-cell
+/// against first-match evaluation — for evolved batches of every size in
+/// [`BATCH_SIZES`] and for a hand-rolled batch exercising every `Edit`
+/// variant (including a no-op self-replacement) in one sequence.
+#[test]
+fn incremental_matches_exhaustive_oracle_on_tiny_schema() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let decisions = [Decision::Accept, Decision::Discard, Decision::AcceptLog];
+    let all: Vec<Packet> = (0..8u64)
+        .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+        .collect();
+
+    for k in 0..8u64 {
+        let (a_lo, a_hi) = (k % 5, (k % 5) + 3);
+        let (b_lo, b_hi) = ((k * 3) % 6, ((k * 3) % 6) + 1);
+        let d1 = decisions[(k % 3) as usize];
+        let d2 = decisions[((k + 1) % 3) as usize];
+        let d3 = decisions[((k + 2) % 3) as usize];
+        let text =
+            format!("a={a_lo}-{a_hi}, b={b_lo}-{b_hi} -> {d1}\nb={b_lo} -> {d2}\n* -> {d3}\n");
+        let fw = Firewall::parse(schema.clone(), &text).unwrap();
+
+        for batch in BATCH_SIZES {
+            let edits = edits_for(&fw, batch, k * 31 + batch as u64);
+            assert_splice_agrees(&fw, &edits, &all, &format!("policy {k}, k={batch}"));
+        }
+
+        let flipped = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+        let widened = fw.rules()[1].with_decision(fw.rules()[1].decision().inverted());
+        let mixed = vec![
+            Edit::Replace {
+                index: 0,
+                rule: fw.rules()[0].clone(), // no-op self-replacement
+            },
+            Edit::Replace {
+                index: 0,
+                rule: flipped,
+            },
+            Edit::Insert {
+                index: 1,
+                rule: widened,
+            },
+            Edit::Swap {
+                first: 0,
+                second: 1,
+            },
+            Edit::Remove { index: 1 },
+        ];
+        assert_splice_agrees(&fw, &mixed, &all, &format!("policy {k}, mixed batch"));
+    }
+}
