@@ -1,10 +1,21 @@
 //! Incremental-recompile benchmark: applies deterministic edit batches
 //! (sizes 1/4/16, drawn from the `fw_synth::evolve` administrative-action
 //! mix) to the Fig. 12 real-life-sized and Fig. 13 `n=500` synthetic
-//! policies, then times the full relower (`CompiledFdd::from_firewall`)
-//! against the incremental splice (`CompiledFdd::recompile`) for each
-//! batch and writes `BENCH_recompile.json` with the shared-vs-fresh node
-//! and byte split of every swap.
+//! policies, then times the whole edit-to-image pipeline both ways and
+//! writes `BENCH_recompile.json`:
+//!
+//! * the **maintained** path — patch a `MaintainedFdd` suffix chain
+//!   (`maintain_us`), short-circuit diff for the impact
+//!   (`impact_local_us`), export the patched diagram (`export_fdd_us`),
+//!   splice it into the old image (`incremental_us`);
+//! * the **full** path — whole-policy comparison for the impact
+//!   (`impact_full_us`), rebuild the post-edit FDD from the rule list
+//!   (`post_edit_fdd_us`), full relower (`full_us`).
+//!
+//! The `e2e_*` fields sum each pipeline end to end (both end at the
+//! splice — the full relower is reported for reference); `impact_us`
+//! keeps timing `ChangeImpact::of_edits` for continuity with earlier
+//! runs of this file.
 //!
 //! Run with: `cargo run --release -p fw-bench --bin recompile`
 //! (CI runs `-- --smoke`: one repeat, smaller oracle trace, same rows).
@@ -12,14 +23,17 @@
 //! Every policy and edit batch comes from fixed seeds, so matcher shapes
 //! and sharing ratios are reproducible run to run (only timings vary with
 //! the machine). The run is also an oracle: before any timing, the bin
-//! asserts the spliced image, a fresh compile of the post-edit policy,
-//! and the linear first-match scan agree on every packet of a replay
-//! trace, and that the spliced image round-trips the wire format.
+//! asserts the spliced image (built from the maintained diagram and
+//! impact), a fresh compile of the post-edit policy, and the linear
+//! first-match scan agree on every packet of a replay trace, that the
+//! maintained impact counts the same affected packets as
+//! `ChangeImpact::of_edits`, and that the spliced image round-trips the
+//! wire format.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fw_core::{ChangeImpact, Edit, Fdd};
+use fw_core::{compare_firewalls, ChangeImpact, Edit, Fdd, MaintainedFdd};
 use fw_exec::CompiledFdd;
 use fw_model::{Decision, Firewall};
 use fw_synth::{evolve, EvolutionProfile, PacketTrace};
@@ -37,6 +51,10 @@ struct Row {
     batch: usize,
     affected_packets: u128,
     impact_us: f64,
+    maintain_us: f64,
+    impact_local_us: f64,
+    impact_full_us: f64,
+    export_fdd_us: f64,
     post_edit_fdd_us: f64,
     full_us: f64,
     incremental_us: f64,
@@ -47,6 +65,20 @@ struct Row {
     bytes_fresh: usize,
     lane_arena_rebuilt: bool,
     lane_arena_bytes: usize,
+}
+
+impl Row {
+    /// Edit-to-image latency on the maintained path: patch the chain,
+    /// diff for the impact, export the diagram, splice the image.
+    fn e2e_incremental_us(&self) -> f64 {
+        self.maintain_us + self.impact_local_us + self.export_fdd_us + self.incremental_us
+    }
+
+    /// The same pipeline without maintenance: whole-policy impact
+    /// comparison, post-edit FDD rebuild from the rule list, splice.
+    fn e2e_full_us(&self) -> f64 {
+        self.impact_full_us + self.post_edit_fdd_us + self.incremental_us
+    }
 }
 
 fn median_us(mut times: Vec<f64>) -> f64 {
@@ -102,20 +134,68 @@ fn edit_batch(fw: &Firewall, k: usize, seed: u64) -> (Vec<Edit>, Firewall, Chang
 
 fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, seed: u64) {
     let base = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
+    // Built once per workload, untimed: a server pays for the chain at
+    // startup, then every edit batch below is incremental.
+    let maintained_base = MaintainedFdd::new(fw.clone()).expect("benchmark policies maintain");
     let trace = PacketTrace::biased(fw, mode.packets, 0.3, seed);
     for (bi, k) in BATCHES.into_iter().enumerate() {
-        let (_edits, after, impact, impact_us) = edit_batch(fw, k, seed + bi as u64);
+        let (edits, after, impact, impact_us) = edit_batch(fw, k, seed + bi as u64);
 
         let t = Instant::now();
-        let fdd = Fdd::from_firewall_fast(&after)
-            .expect("post-edit policies are comprehensive")
-            .reduced();
+        std::hint::black_box(
+            Fdd::from_firewall_fast(&after)
+                .expect("post-edit policies are comprehensive")
+                .reduced(),
+        );
         let post_edit_fdd_us = t.elapsed().as_secs_f64() * 1e6;
+
+        // The old whole-policy impact pipeline (§4 shaping + §5
+        // comparison over both rule lists), for the localized-vs-full
+        // split in the report.
+        let t = Instant::now();
+        std::hint::black_box(compare_firewalls(fw, &after).expect("benchmark policies compare"));
+        let impact_full_us = t.elapsed().as_secs_f64() * 1e6;
+
+        // The maintained path, each repeat on a fresh clone of the
+        // per-workload chain (cloning is untimed; a server edits its one
+        // long-lived chain in place).
+        let mut maintain_times = Vec::new();
+        let mut local_times = Vec::new();
+        let mut export_times = Vec::new();
+        let mut maintained_out = None;
+        for _ in 0..mode.repeats {
+            let mut m = maintained_base.clone();
+            let old_root = m.root();
+            let t = Instant::now();
+            m.apply(&edits).expect("evolution edits maintain");
+            maintain_times.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let m_impact = m.diff_from(old_root).expect("maintained roots diff");
+            local_times.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let m_fdd = m.to_fdd().expect("maintained chain exports");
+            export_times.push(t.elapsed().as_secs_f64());
+            maintained_out = Some((m_impact, m_fdd));
+        }
+        let maintain_us = median_us(maintain_times);
+        let impact_local_us = median_us(local_times);
+        let export_fdd_us = median_us(export_times);
+        let (m_impact, m_fdd) = maintained_out.expect("at least one repeat");
+
+        // The maintained impact must count exactly the packets the
+        // of_edits analysis counts.
+        assert_eq!(
+            m_impact.affected_packets(),
+            impact.affected_packets(),
+            "{name}/k={k}: maintained impact diverges from of_edits"
+        );
 
         // The oracle's compile and splice double as the first timing
         // sample, so single-repeat (smoke) rows do each exactly once.
+        // The splice consumes the maintained outputs — the image a
+        // LiveMatcher would publish.
         let t = Instant::now();
-        let (spliced, stats) = base.recompile(&fdd, &impact).expect("splice succeeds");
+        let (spliced, stats) = base.recompile(&m_fdd, &m_impact).expect("splice succeeds");
         let incremental_first = t.elapsed().as_secs_f64();
         let t = Instant::now();
         let full = CompiledFdd::from_firewall(&after).expect("post-edit policies compile");
@@ -145,30 +225,20 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
         let full_us = median_us(full_times);
         let mut incremental_times = vec![incremental_first];
         incremental_times.extend(time_repeats(mode.repeats - 1, || {
-            std::hint::black_box(base.recompile(&fdd, &impact).expect("splices"));
+            std::hint::black_box(base.recompile(&m_fdd, &m_impact).expect("splices"));
         }));
         let incremental_us = median_us(incremental_times);
 
-        println!(
-            "{name} k={k}: full {full_us:.0} µs | incremental {incremental_us:.0} µs \
-             (x{:.1}) | {}/{} nodes reused, {} B shared, {} B fresh{}",
-            full_us / incremental_us,
-            stats.nodes_shared,
-            stats.nodes,
-            stats.bytes_shared,
-            stats.bytes_fresh,
-            if stats.lane_arena_rebuilt {
-                ", lane mirror rebuilt"
-            } else {
-                ""
-            },
-        );
-        rows.push(Row {
+        let row = Row {
             workload: name.to_owned(),
             rules: fw.len(),
             batch: k,
-            affected_packets: impact.affected_packets(),
+            affected_packets: impact.affected_packets_in(fw.schema()),
             impact_us,
+            maintain_us,
+            impact_local_us,
+            impact_full_us,
+            export_fdd_us,
             post_edit_fdd_us,
             full_us,
             incremental_us,
@@ -179,7 +249,24 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
             bytes_fresh: stats.bytes_fresh,
             lane_arena_rebuilt: stats.lane_arena_rebuilt,
             lane_arena_bytes: spliced.stats().lane_arena_bytes,
-        });
+        };
+        println!(
+            "{name} k={k}: e2e full {:.0} µs | e2e maintained {:.0} µs (x{:.1}) | \
+             maintain {maintain_us:.0} + diff {impact_local_us:.0} + export \
+             {export_fdd_us:.0} + splice {incremental_us:.0} µs | \
+             {}/{} nodes reused{}",
+            row.e2e_full_us(),
+            row.e2e_incremental_us(),
+            row.e2e_full_us() / row.e2e_incremental_us(),
+            stats.nodes_shared,
+            stats.nodes,
+            if stats.lane_arena_rebuilt {
+                ", lane mirror rebuilt"
+            } else {
+                ""
+            },
+        );
+        rows.push(row);
     }
 }
 
@@ -235,8 +322,12 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"workload\": \"{}\", \"rules\": {}, \"batch\": {}, \
-             \"affected_packets\": {}, \"impact_us\": {:.1}, \"post_edit_fdd_us\": {:.1}, \
+             \"affected_packets\": {}, \"impact_us\": {:.1}, \"maintain_us\": {:.1}, \
+             \"impact_local_us\": {:.1}, \"impact_full_us\": {:.1}, \
+             \"export_fdd_us\": {:.1}, \"post_edit_fdd_us\": {:.1}, \
              \"full_us\": {:.1}, \"incremental_us\": {:.1}, \"speedup\": {:.2}, \
+             \"e2e_incremental_us\": {:.1}, \"e2e_full_us\": {:.1}, \
+             \"e2e_speedup\": {:.2}, \
              \"nodes\": {}, \"nodes_shared\": {}, \"nodes_fresh\": {}, \
              \"bytes_shared\": {}, \"bytes_fresh\": {}, \"lane_arena_rebuilt\": {}, \
              \"lane_arena_bytes\": {}}}{sep}",
@@ -245,10 +336,17 @@ fn main() {
             r.batch,
             r.affected_packets,
             r.impact_us,
+            r.maintain_us,
+            r.impact_local_us,
+            r.impact_full_us,
+            r.export_fdd_us,
             r.post_edit_fdd_us,
             r.full_us,
             r.incremental_us,
             r.full_us / r.incremental_us,
+            r.e2e_incremental_us(),
+            r.e2e_full_us(),
+            r.e2e_full_us() / r.e2e_incremental_us(),
             r.nodes,
             r.nodes_shared,
             r.nodes_fresh,

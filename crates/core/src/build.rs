@@ -16,6 +16,12 @@
 //!
 //! Terminal nodes are never overwritten: packets reaching an existing
 //! terminal already matched an earlier (higher-priority) rule.
+//!
+//! This algorithm (and the memoised `fast.rs` equivalent) rebuilds from
+//! the whole rule list. When the list is *edited* rather than built,
+//! [`MaintainedFdd`](crate::MaintainedFdd) keeps Fig. 7's recurrence
+//! materialised as a hash-consed suffix chain and patches only the edited
+//! corridor — see `maintain.rs`.
 
 use fw_model::{Firewall, IntervalSet, Rule};
 

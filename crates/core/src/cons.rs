@@ -1,0 +1,640 @@
+//! A hash-consed FDD arena: one canonical node table where structural
+//! equality *is* id equality.
+//!
+//! [`Fdd`] keeps each diagram in its own vector, and canonical form is
+//! something a pass ([`Fdd::reduced`]) establishes after the fact. The
+//! incremental-maintenance machinery in [`crate::maintain`] needs the
+//! opposite discipline — the one BDD packages use (Hazelhurst's access-list
+//! analyses) and the parallel engine's flattener re-establishes globally
+//! (`par.rs`): every node is interned at creation into one shared table,
+//! canonicalised on the way in (sibling edges merged per child, min-value
+//! edge order, a node whose single edge covers the whole domain elided to
+//! its child), so
+//!
+//! * two subdiagrams compute the same function **iff** they have the same
+//!   [`ConsId`] — subtree equivalence is one `u32` compare, which is what
+//!   lets a diff product short-circuit ([`ConsArena::diff`]) and a suffix
+//!   chain detect that an edit was absorbed ([`crate::MaintainedFdd`]);
+//! * a rebuilt-but-unchanged subdiagram costs no memory — interning
+//!   returns the existing id.
+//!
+//! Arena terminals carry `Option<Decision>`: `None` is the *unmatched*
+//! sentinel, the diagram of the empty rule suffix (no rule matches).
+//! Partial suffixes of a comprehensive policy legitimately contain it; a
+//! diagram exported to a servable [`Fdd`] must not reach it
+//! ([`ConsArena::to_fdd`] reports the uncovered region otherwise).
+//!
+//! The arena is append-only — interning never invalidates an id — so
+//! callers may hold ids across any number of constructions.
+//! [`ConsArena::compact`] is the explicit exception: it rebuilds the table
+//! keeping only what a root set reaches and remaps the caller's roots.
+
+use std::collections::HashMap;
+
+use fw_model::{Decision, FieldId, IntervalSet, Schema};
+
+use crate::discrepancy::{coalesce, Discrepancy};
+use crate::fdd::{Edge, Fdd, Node};
+use crate::CoreError;
+
+/// A canonical node id in a [`ConsArena`]. Two ids from the same arena are
+/// equal iff their subdiagrams compute the same function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConsId(u32);
+
+impl ConsId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One canonical node: a terminal (with `None` as the unmatched sentinel)
+/// or an internal test whose edges are merged per child, sorted by least
+/// label value, and jointly cover the field's domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ConsNode {
+    Terminal(Option<Decision>),
+    Internal {
+        field: FieldId,
+        edges: Vec<(IntervalSet, ConsId)>,
+    },
+}
+
+/// Structural signature for interning. Labels are flattened to their
+/// interval runs so the hash walks no nested allocations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Sig {
+    Terminal(Option<Decision>),
+    Internal(FieldId, Vec<((u64, u64), ConsId)>),
+}
+
+/// The canonical node table (see module docs).
+#[derive(Debug, Clone)]
+pub struct ConsArena {
+    schema: Schema,
+    nodes: Vec<ConsNode>,
+    table: HashMap<Sig, ConsId>,
+}
+
+impl ConsArena {
+    /// An empty arena over `schema`.
+    pub fn new(schema: Schema) -> ConsArena {
+        ConsArena {
+            schema,
+            nodes: Vec::new(),
+            table: HashMap::new(),
+        }
+    }
+
+    /// The schema every diagram in this arena ranges over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total interned nodes, live or not (monotone until [`compact`]).
+    ///
+    /// [`compact`]: ConsArena::compact
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The rank of a node: its field index, or the schema length for
+    /// terminals (a terminal is constant on every remaining field).
+    pub fn rank(&self, id: ConsId) -> usize {
+        match &self.nodes[id.index()] {
+            ConsNode::Terminal(_) => self.schema.len(),
+            ConsNode::Internal { field, .. } => field.index(),
+        }
+    }
+
+    /// The decision of a terminal node (`Some(None)` is the unmatched
+    /// sentinel); `None` for internal nodes.
+    pub fn terminal_decision(&self, id: ConsId) -> Option<Option<Decision>> {
+        match &self.nodes[id.index()] {
+            ConsNode::Terminal(d) => Some(*d),
+            ConsNode::Internal { .. } => None,
+        }
+    }
+
+    /// Interns the terminal for `decision` (`None` = unmatched sentinel).
+    pub fn terminal(&mut self, decision: Option<Decision>) -> ConsId {
+        self.intern(Sig::Terminal(decision), || ConsNode::Terminal(decision))
+    }
+
+    /// Interns an internal node at `field` from `(child, label)` parts,
+    /// canonicalising: parts with the same child merge their labels, edges
+    /// sort by least value, and a node whose single edge covers the whole
+    /// domain is elided to its child. The parts' labels must be pairwise
+    /// disjoint and jointly cover the field's domain.
+    pub fn internal(&mut self, field: FieldId, parts: Vec<(ConsId, IntervalSet)>) -> ConsId {
+        let mut per_child: Vec<(ConsId, IntervalSet)> = Vec::with_capacity(parts.len());
+        // Index into `per_child` by child id: nodes near the chain root can
+        // carry hundreds of distinct children, and a linear scan here turns
+        // every re-intern during suffix maintenance quadratic.
+        let mut slot: HashMap<ConsId, usize> = HashMap::with_capacity(parts.len());
+        for (child, label) in parts {
+            debug_assert!(!label.is_empty(), "empty edge label");
+            debug_assert!(self.rank(child) > field.index(), "child rank out of order");
+            match slot.entry(child) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let set = &mut per_child[*e.get()].1;
+                    *set = set.union(&label);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(per_child.len());
+                    per_child.push((child, label));
+                }
+            }
+        }
+        debug_assert_eq!(
+            per_child
+                .iter()
+                .fold(0u128, |n, (_, set)| n.saturating_add(set.count())),
+            self.schema.field(field).domain().count(),
+            "edge labels must partition the domain of {field:?}"
+        );
+        if per_child.len() == 1 {
+            return per_child.pop().expect("len checked").0;
+        }
+        per_child.sort_by_key(|(_, set)| set.min_value());
+        let mut sig_edges: Vec<((u64, u64), ConsId)> = Vec::new();
+        for (child, set) in &per_child {
+            for iv in set.iter() {
+                sig_edges.push(((iv.lo(), iv.hi()), *child));
+            }
+        }
+        sig_edges.sort_unstable();
+        self.intern(Sig::Internal(field, sig_edges), || ConsNode::Internal {
+            field,
+            edges: per_child.into_iter().map(|(c, s)| (s, c)).collect(),
+        })
+    }
+
+    fn intern(&mut self, sig: Sig, node: impl FnOnce() -> ConsNode) -> ConsId {
+        if let Some(&id) = self.table.get(&sig) {
+            return id;
+        }
+        let id = ConsId(u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices"));
+        self.nodes.push(node());
+        self.table.insert(sig, id);
+        id
+    }
+
+    /// The children of `id` as seen from `field`: the node's own edges when
+    /// it tests exactly `field`, otherwise one virtual full-domain edge back
+    /// to `id` (the node is constant on `field` — it tests a later field or
+    /// is a terminal). Callers must have `rank(id) >= field.index()`.
+    pub(crate) fn children_at(&self, id: ConsId, field: FieldId) -> Vec<(IntervalSet, ConsId)> {
+        debug_assert!(self.rank(id) >= field.index(), "rank out of order");
+        match &self.nodes[id.index()] {
+            ConsNode::Internal { field: f, edges } if *f == field => edges.clone(),
+            _ => vec![(
+                IntervalSet::from_interval(self.schema.field(field).domain()),
+                id,
+            )],
+        }
+    }
+
+    /// Borrowing view of an internal node's test field and edges (`None`
+    /// for terminals) — the allocation-free form the prepend hot path
+    /// reads.
+    pub(crate) fn edges(&self, id: ConsId) -> Option<(FieldId, &[(IntervalSet, ConsId)])> {
+        match &self.nodes[id.index()] {
+            ConsNode::Terminal(_) => None,
+            ConsNode::Internal { field, edges } => Some((*field, edges.as_slice())),
+        }
+    }
+
+    /// The number of nodes reachable from `roots` (deduplicated).
+    pub fn live_from(&self, roots: &[ConsId]) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<ConsId> = Vec::new();
+        for &r in roots {
+            if !seen[r.index()] {
+                seen[r.index()] = true;
+                stack.push(r);
+            }
+        }
+        let mut n = 0usize;
+        while let Some(id) = stack.pop() {
+            n += 1;
+            if let ConsNode::Internal { edges, .. } = &self.nodes[id.index()] {
+                for (_, c) in edges {
+                    if !seen[c.index()] {
+                        seen[c.index()] = true;
+                        stack.push(*c);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// A region (as `field=value` pairs) from which `root` reaches the
+    /// unmatched sentinel, or `None` if `root` is total — the witness
+    /// [`ConsArena::to_fdd`] and the maintenance layer report for
+    /// non-comprehensive rule sequences.
+    pub fn unmatched_witness(&self, root: ConsId) -> Option<String> {
+        // The search walks each node once with the first path that reached
+        // it; any path to the sentinel is a valid witness.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut path: Vec<(FieldId, u64)> = Vec::new();
+        self.witness_rec(root, &mut seen, &mut path)
+    }
+
+    fn witness_rec(
+        &self,
+        id: ConsId,
+        seen: &mut [bool],
+        path: &mut Vec<(FieldId, u64)>,
+    ) -> Option<String> {
+        if seen[id.index()] {
+            return None;
+        }
+        seen[id.index()] = true;
+        match &self.nodes[id.index()] {
+            ConsNode::Terminal(None) => Some(if path.is_empty() {
+                "any packet (empty rule suffix)".to_owned()
+            } else {
+                path.iter()
+                    .map(|(f, v)| format!("{}={v}", self.schema.field(*f).name()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }),
+            ConsNode::Terminal(Some(_)) => None,
+            ConsNode::Internal { field, edges } => {
+                for (set, child) in edges {
+                    let v = set.min_value().expect("nonempty label");
+                    path.push((*field, v));
+                    if let Some(w) = self.witness_rec(*child, seen, path) {
+                        return Some(w);
+                    }
+                    path.pop();
+                }
+                None
+            }
+        }
+    }
+
+    /// Exports the diagram rooted at `root` as a standalone reduced
+    /// [`Fdd`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotComprehensive`] if the unmatched sentinel is
+    /// reachable — the diagram does not decide every packet and cannot be
+    /// served.
+    pub fn to_fdd(&self, root: ConsId) -> Result<Fdd, CoreError> {
+        if let Some(witness) = self.unmatched_witness(root) {
+            return Err(CoreError::NotComprehensive { witness });
+        }
+        let mut fdd = Fdd::empty(self.schema.clone());
+        let mut map: HashMap<ConsId, crate::fdd::NodeId> = HashMap::new();
+        let new_root = self.export_rec(root, &mut fdd, &mut map);
+        fdd.set_root(new_root);
+        debug_assert!(fdd.validate().is_ok());
+        Ok(fdd)
+    }
+
+    // Depth is bounded by the schema's field count, so plain recursion is
+    // safe here.
+    fn export_rec(
+        &self,
+        id: ConsId,
+        fdd: &mut Fdd,
+        map: &mut HashMap<ConsId, crate::fdd::NodeId>,
+    ) -> crate::fdd::NodeId {
+        if let Some(&n) = map.get(&id) {
+            return n;
+        }
+        let n = match &self.nodes[id.index()] {
+            ConsNode::Terminal(d) => {
+                fdd.push(Node::Terminal(d.expect("checked total before export")))
+            }
+            ConsNode::Internal { field, edges } => {
+                let lowered: Vec<Edge> = edges
+                    .iter()
+                    .map(|(label, child)| Edge {
+                        label: label.clone(),
+                        target: self.export_rec(*child, fdd, map),
+                    })
+                    .collect();
+                fdd.push(Node::Internal {
+                    field: *field,
+                    edges: lowered,
+                })
+            }
+        };
+        map.insert(id, n);
+        n
+    }
+
+    /// Rebuilds the arena keeping only nodes reachable from `roots`,
+    /// rewriting each root to its new id. Every other outstanding
+    /// [`ConsId`] is invalidated — this is the one operation that breaks
+    /// the append-only guarantee, so it is explicit.
+    pub fn compact(&mut self, roots: &mut [ConsId]) {
+        let mut fresh = ConsArena::new(self.schema.clone());
+        let mut map: HashMap<ConsId, ConsId> = HashMap::new();
+        for r in roots.iter_mut() {
+            *r = self.compact_rec(*r, &mut fresh, &mut map);
+        }
+        *self = fresh;
+    }
+
+    fn compact_rec(
+        &self,
+        id: ConsId,
+        fresh: &mut ConsArena,
+        map: &mut HashMap<ConsId, ConsId>,
+    ) -> ConsId {
+        if let Some(&n) = map.get(&id) {
+            return n;
+        }
+        let n = match &self.nodes[id.index()] {
+            ConsNode::Terminal(d) => fresh.terminal(*d),
+            ConsNode::Internal { field, edges } => {
+                let parts = edges
+                    .iter()
+                    .map(|(label, child)| (self.compact_rec(*child, fresh, map), label.clone()))
+                    .collect();
+                fresh.internal(*field, parts)
+            }
+        };
+        map.insert(id, n);
+        n
+    }
+
+    /// All functional discrepancies between the diagrams rooted at `a` and
+    /// `b`, as coalesced disjoint regions.
+    ///
+    /// This is the short-circuit counterpart of [`crate::diff_product`]:
+    /// the synchronized walk returns *empty* the moment it sees `a == b`,
+    /// because in a hash-consed arena equal ids are equal functions — so
+    /// after a localized edit the walk touches only the corridor the edit
+    /// actually changed, never the shared bulk of the diagram.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invariant`] if either diagram reaches the unmatched
+    /// sentinel (diff the total diagrams of comprehensive policies).
+    pub fn diff(&self, a: ConsId, b: ConsId) -> Result<Vec<Discrepancy>, CoreError> {
+        let mut d = Differ {
+            arena: self,
+            memo: HashMap::new(),
+            nodes: Vec::new(),
+        };
+        let root = d.pair(a, b)?;
+        let mut sets: Vec<IntervalSet> = self
+            .schema
+            .iter()
+            .map(|(_, f)| IntervalSet::from_interval(f.domain()))
+            .collect();
+        let mut raw = Vec::new();
+        d.emit(root, &mut sets, &mut raw);
+        Ok(coalesce(raw))
+    }
+}
+
+/// One node of the (tiny) short-circuit diff product.
+enum DiffNode {
+    /// The operands agree on every packet reaching here.
+    Same,
+    /// Every packet reaching here decides `.0` on the left, `.1` on the
+    /// right.
+    Differ(Decision, Decision),
+    /// The operands must be split on `field` to compare further.
+    Split {
+        field: FieldId,
+        edges: Vec<(IntervalSet, usize)>,
+    },
+}
+
+struct Differ<'a> {
+    arena: &'a ConsArena,
+    memo: HashMap<(ConsId, ConsId), usize>,
+    nodes: Vec<DiffNode>,
+}
+
+/// The interned index of the shared `Same` node (pushed first).
+const SAME: usize = 0;
+
+impl Differ<'_> {
+    fn push(&mut self, n: DiffNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    fn pair(&mut self, a: ConsId, b: ConsId) -> Result<usize, CoreError> {
+        if self.nodes.is_empty() {
+            self.nodes.push(DiffNode::Same);
+        }
+        if a == b {
+            // The short circuit: equal ids are equal functions.
+            return Ok(SAME);
+        }
+        if let Some(&id) = self.memo.get(&(a, b)) {
+            return Ok(id);
+        }
+        let (ra, rb) = (self.arena.rank(a), self.arena.rank(b));
+        let d = self.arena.schema.len();
+        let id = if ra == d && rb == d {
+            let da = self.arena.terminal_decision(a).expect("rank d is terminal");
+            let db = self.arena.terminal_decision(b).expect("rank d is terminal");
+            match (da, db) {
+                (Some(x), Some(y)) if x == y => SAME,
+                (Some(x), Some(y)) => self.push(DiffNode::Differ(x, y)),
+                _ => {
+                    return Err(CoreError::Invariant(
+                        "diff reached the unmatched sentinel; operands must be total".into(),
+                    ))
+                }
+            }
+        } else {
+            let field = FieldId(ra.min(rb));
+            let ea = self.arena.children_at(a, field);
+            let eb = self.arena.children_at(b, field);
+            let mut edges: Vec<(IntervalSet, usize)> = Vec::new();
+            let mut all_same = true;
+            for (la, ca) in &ea {
+                for (lb, cb) in &eb {
+                    let cell = la.intersect(lb);
+                    if cell.is_empty() {
+                        continue;
+                    }
+                    let child = self.pair(*ca, *cb)?;
+                    all_same &= child == SAME;
+                    match edges.iter_mut().find(|(_, c)| *c == child) {
+                        Some((set, _)) => *set = set.union(&cell),
+                        None => edges.push((cell, child)),
+                    }
+                }
+            }
+            if all_same {
+                // Different structure, same function on every cell — fold
+                // to `Same` so enclosing pairs can short-circuit too.
+                SAME
+            } else {
+                self.push(DiffNode::Split { field, edges })
+            }
+        };
+        self.memo.insert((a, b), id);
+        Ok(id)
+    }
+
+    fn emit(&self, id: usize, sets: &mut Vec<IntervalSet>, out: &mut Vec<Discrepancy>) {
+        match &self.nodes[id] {
+            DiffNode::Same => {}
+            DiffNode::Differ(l, r) => out.push(Discrepancy::new(
+                fw_model::Predicate::from_sets_unchecked(sets.clone()),
+                *l,
+                *r,
+            )),
+            DiffNode::Split { field, edges } => {
+                for (label, child) in edges {
+                    if *child == SAME {
+                        continue;
+                    }
+                    let saved = std::mem::replace(&mut sets[field.index()], label.clone());
+                    self.emit(*child, sets, out);
+                    sets[field.index()] = saved;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{FieldDef, Interval};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::new("a", 3).unwrap(),
+            FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn set(lo: u64, hi: u64) -> IntervalSet {
+        IntervalSet::from_interval(Interval::new(lo, hi).unwrap())
+    }
+
+    #[test]
+    fn terminals_are_consed() {
+        let mut a = ConsArena::new(tiny_schema());
+        let t1 = a.terminal(Some(Decision::Accept));
+        let t2 = a.terminal(Some(Decision::Accept));
+        let t3 = a.terminal(Some(Decision::Discard));
+        let u = a.terminal(None);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_ne!(t1, u);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn internal_nodes_cons_merge_and_elide() {
+        let mut a = ConsArena::new(tiny_schema());
+        let acc = a.terminal(Some(Decision::Accept));
+        let dis = a.terminal(Some(Decision::Discard));
+
+        // A single edge covering the domain elides to its child.
+        let elided = a.internal(FieldId(1), vec![(acc, set(0, 7))]);
+        assert_eq!(elided, acc);
+
+        // Two parts to the same child merge — and still elide.
+        let merged = a.internal(FieldId(1), vec![(acc, set(0, 3)), (acc, set(4, 7))]);
+        assert_eq!(merged, acc);
+
+        // Structurally equal internals get one id, regardless of part
+        // order.
+        let n1 = a.internal(FieldId(1), vec![(acc, set(0, 3)), (dis, set(4, 7))]);
+        let n2 = a.internal(FieldId(1), vec![(dis, set(4, 7)), (acc, set(0, 3))]);
+        assert_eq!(n1, n2);
+        assert_eq!(a.rank(n1), 1);
+        assert_eq!(a.rank(acc), 2);
+    }
+
+    #[test]
+    fn export_rejects_partial_diagrams_with_witness() {
+        let mut a = ConsArena::new(tiny_schema());
+        let acc = a.terminal(Some(Decision::Accept));
+        let gap = a.terminal(None);
+        let n = a.internal(FieldId(0), vec![(acc, set(0, 3)), (gap, set(4, 7))]);
+        match a.to_fdd(n) {
+            Err(CoreError::NotComprehensive { witness }) => {
+                assert!(witness.contains("a=4"), "witness was {witness}");
+            }
+            other => panic!("expected NotComprehensive, got {other:?}"),
+        }
+        assert!(a.unmatched_witness(acc).is_none());
+    }
+
+    #[test]
+    fn export_round_trips_decisions() {
+        let mut a = ConsArena::new(tiny_schema());
+        let acc = a.terminal(Some(Decision::Accept));
+        let dis = a.terminal(Some(Decision::Discard));
+        let inner = a.internal(FieldId(1), vec![(acc, set(0, 1)), (dis, set(2, 7))]);
+        let root = a.internal(FieldId(0), vec![(inner, set(0, 3)), (acc, set(4, 7))]);
+        let fdd = a.to_fdd(root).unwrap();
+        fdd.validate().unwrap();
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let p = fw_model::Packet::new(vec![x, y]);
+                let want = if x >= 4 || y <= 1 {
+                    Decision::Accept
+                } else {
+                    Decision::Discard
+                };
+                assert_eq!(fdd.decision_for(&p), Some(want), "at {p}");
+            }
+        }
+        assert_eq!(a.live_from(&[root]), 4);
+    }
+
+    #[test]
+    fn diff_short_circuits_and_reports_regions() {
+        let mut a = ConsArena::new(tiny_schema());
+        let acc = a.terminal(Some(Decision::Accept));
+        let dis = a.terminal(Some(Decision::Discard));
+        let left = a.internal(FieldId(0), vec![(acc, set(0, 3)), (dis, set(4, 7))]);
+        assert!(a.diff(left, left).unwrap().is_empty());
+
+        let right = a.internal(FieldId(0), vec![(acc, set(0, 4)), (dis, set(5, 7))]);
+        let ds = a.diff(left, right).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].left(), Decision::Discard);
+        assert_eq!(ds[0].right(), Decision::Accept);
+        assert_eq!(ds[0].packet_count(), 8); // a=4, b free
+
+        // Structurally different but functionally equal: diff is empty.
+        let split = a.internal(
+            FieldId(1),
+            vec![(acc, set(0, 3)), (acc, set(4, 7))], // merges+elides to acc
+        );
+        assert_eq!(split, acc);
+    }
+
+    #[test]
+    fn compact_keeps_roots_and_drops_garbage() {
+        let mut a = ConsArena::new(tiny_schema());
+        let acc = a.terminal(Some(Decision::Accept));
+        let dis = a.terminal(Some(Decision::Discard));
+        let keep = a.internal(FieldId(0), vec![(acc, set(0, 3)), (dis, set(4, 7))]);
+        let _garbage = a.internal(FieldId(1), vec![(acc, set(0, 0)), (dis, set(1, 7))]);
+        let before = a.to_fdd(keep).unwrap();
+        let mut roots = [keep];
+        a.compact(&mut roots);
+        assert_eq!(a.len(), 3);
+        let after = a.to_fdd(roots[0]).unwrap();
+        assert!(before.isomorphic(&after));
+    }
+}

@@ -52,22 +52,26 @@ impl Edit {
     /// Returns the underlying [`fw_model::ModelError`] (wrapped in
     /// [`CoreError::Model`]) for out-of-range indices or invalid rules.
     pub fn apply(&self, fw: &Firewall) -> Result<Firewall, CoreError> {
+        let mut out = fw.clone();
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Applies the edit to `fw` in place — the form batch appliers use so
+    /// a whole [`ChangeImpact::of_edits`] batch costs one clone, not one
+    /// per edit. The firewall is unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Edit::apply`].
+    pub fn apply_in_place(&self, fw: &mut Firewall) -> Result<(), CoreError> {
         match self {
-            Edit::Insert { index, rule } => Ok(fw.with_rule_inserted(*index, rule.clone())?),
-            Edit::Remove { index } => Ok(fw.with_rule_removed(*index)?),
-            Edit::Replace { index, rule } => Ok(fw.with_rule_replaced(*index, rule.clone())?),
-            Edit::Swap { first, second } => {
-                let (i, j) = (*first, *second);
-                if i >= fw.len() || j >= fw.len() {
-                    return Err(CoreError::Model(fw_model::ModelError::InvalidFirewall {
-                        message: format!("swap indices {i},{j} out of range 0..{}", fw.len()),
-                    }));
-                }
-                let mut rules = fw.rules().to_vec();
-                rules.swap(i, j);
-                Ok(Firewall::new(fw.schema().clone(), rules)?)
-            }
+            Edit::Insert { index, rule } => fw.insert_rule(*index, rule.clone())?,
+            Edit::Remove { index } => fw.remove_rule(*index)?,
+            Edit::Replace { index, rule } => fw.replace_rule(*index, rule.clone())?,
+            Edit::Swap { first, second } => fw.swap_rules(*first, *second)?,
         }
+        Ok(())
     }
 }
 
@@ -108,13 +112,25 @@ impl ChangeImpact {
     /// # }
     /// ```
     pub fn between(before: &Firewall, after: &Firewall) -> Result<ChangeImpact, CoreError> {
+        // The edit path: when the two policies share most of their rule
+        // tail (the signature of an edit batch), one hash-consed arena
+        // holds both suffix chains with the common tail built once, and
+        // the short-circuit diff only walks where they differ. Unrelated
+        // policies go through the full §3–§5 pipeline as before.
+        if before.schema() == after.schema()
+            && 2 * crate::maintain::common_tail(before, after) >= before.len().max(after.len())
+        {
+            return crate::maintain::edit_path_impact(before, after);
+        }
         Ok(ChangeImpact {
             discrepancies: crate::compare_firewalls(before, after)?,
         })
     }
 
-    /// Applies `edits` in order to `before` and returns the modified policy
-    /// together with the exact impact of the whole batch.
+    /// Applies `edits` in order to `before` (in place on one working
+    /// copy) and returns the modified policy together with the exact
+    /// impact of the whole batch, computed over a shared hash-consed
+    /// arena so only the edited corridor is walked.
     ///
     /// # Errors
     ///
@@ -125,10 +141,16 @@ impl ChangeImpact {
     ) -> Result<(Firewall, ChangeImpact), CoreError> {
         let mut after = before.clone();
         for e in edits {
-            after = e.apply(&after)?;
+            e.apply_in_place(&mut after)?;
         }
-        let impact = ChangeImpact::between(before, &after)?;
+        let impact = crate::maintain::edit_path_impact(before, &after)?;
         Ok((after, impact))
+    }
+
+    /// Wraps an already computed discrepancy set (the maintenance layer's
+    /// constructor).
+    pub(crate) fn from_discrepancies(discrepancies: Vec<Discrepancy>) -> ChangeImpact {
+        ChangeImpact { discrepancies }
     }
 
     /// The changed regions: `(region, old decision, new decision)` triples.
@@ -174,10 +196,25 @@ impl ChangeImpact {
     }
 
     /// Total number of packets whose decision changed, saturating.
+    ///
+    /// The sum is exact when the regions are disjoint (every impact this
+    /// crate computes is); for consumer-assembled region lists it is an
+    /// upper bound. Prefer [`Self::affected_packets_in`] when the schema
+    /// is at hand — it can never report more packets than exist.
     pub fn affected_packets(&self) -> u128 {
         self.discrepancies
             .iter()
             .fold(0u128, |acc, d| acc.saturating_add(d.packet_count()))
+    }
+
+    /// Total number of packets whose decision changed, clamped to the
+    /// schema's packet-space cardinality — the accounting benchmarks and
+    /// serving reports should use, since a raw per-region sum can exceed
+    /// the space (overlapping hand-built regions, or saturation) and an
+    /// "affected packets" figure larger than the number of packets that
+    /// exist is meaningless.
+    pub fn affected_packets_in(&self, schema: &Schema) -> u128 {
+        self.affected_packets().min(schema.packet_space())
     }
 }
 
@@ -368,6 +405,41 @@ mod tests {
         .unwrap();
         assert!(!flip.is_noop());
         assert!(flip.dirty_fields(all.schema()).is_empty());
+    }
+
+    #[test]
+    fn affected_packets_never_exceed_the_packet_space() {
+        // Flipping a whole-domain policy touches every packet — and not
+        // one more: the clamped count is exactly the space's cardinality.
+        for schema in [tiny_schema(), Schema::tcp_ip(), Schema::paper_example()] {
+            let all = fw_model::Firewall::parse(schema.clone(), "* -> accept\n").unwrap();
+            let (_, impact) = ChangeImpact::of_edits(
+                &all,
+                &[Edit::Replace {
+                    index: 0,
+                    rule: Rule::catch_all(all.schema(), Decision::Discard),
+                }],
+            )
+            .unwrap();
+            assert_eq!(impact.affected_packets_in(&schema), schema.packet_space());
+            assert!(impact.affected_packets() <= schema.packet_space());
+        }
+
+        // A consumer-assembled impact with overlapping regions can sum
+        // past the space; the schema-aware count clamps it.
+        let schema = tiny_schema();
+        let whole = crate::discrepancy::Discrepancy::new(
+            Predicate::any(&schema),
+            Decision::Accept,
+            Decision::Discard,
+        );
+        let overlapping =
+            ChangeImpact::from_discrepancies(vec![whole.clone(), whole.clone(), whole]);
+        assert!(overlapping.affected_packets() > schema.packet_space());
+        assert_eq!(
+            overlapping.affected_packets_in(&schema),
+            schema.packet_space()
+        );
     }
 
     #[test]

@@ -44,12 +44,14 @@
 
 mod build;
 mod compare;
+mod cons;
 pub mod discrepancy;
 mod dot;
 mod error;
 mod fast;
 mod fdd;
 mod impact;
+mod maintain;
 mod multiway;
 mod par;
 mod product;
@@ -61,10 +63,12 @@ mod stats;
 
 pub use build::IncrementalBuilder;
 pub use compare::{compare_firewalls, compare_firewalls_via_shaping, compare_shaped, equivalent};
+pub use cons::{ConsArena, ConsId};
 pub use discrepancy::{coalesce, coalesce_multi, Discrepancy, MultiDiscrepancy};
 pub use error::CoreError;
 pub use fdd::{domain_label, label, Edge, Fdd, FddBuilder, NodeId, NodeView};
 pub use impact::{ChangeImpact, Edit};
+pub use maintain::MaintainedFdd;
 pub use multiway::{
     cross_compare, direct_compare, direct_compare_jobs, project_pair, shape_all,
     PairwiseDiscrepancies,

@@ -1,0 +1,612 @@
+//! Incrementally maintained FDDs: the suffix chain of a first-match
+//! policy, patched under [`Edit`]s instead of rebuilt.
+//!
+//! The paper's construction recurrence (§3, Fig. 7) is
+//! `F(r_i..r_n) = if match(r_i) then d_i else F(r_{i+1}..r_n)` — every
+//! firewall FDD is a rule *prepended* onto the FDD of the remaining
+//! suffix. [`MaintainedFdd`] stores exactly that decomposition: the chain
+//! `S_i = prepend(r_i, S_{i+1})` for every `i`, with `S_n` the unmatched
+//! sentinel, all in one hash-consed [`ConsArena`].
+//!
+//! `prepend` splits edges only along one rule's predicate corridor and
+//! keeps every child outside it by id, so its cost is the corridor, not
+//! the diagram. An [`Edit`] at index `i` leaves `S_{i+1}..S_n` untouched
+//! and recomputes `S_i..S_0` — the §8.1 common case (a rule inserted at
+//! the top) is a *single* prepend. Each rule carries a persistent
+//! `(field, tail-node) → result` memo, so a re-prepend over a mostly
+//! unchanged tail resolves almost entirely from cache and only walks the
+//! subdiagrams the edit actually changed; hash-consing then collapses
+//! rebuilt-but-unchanged suffixes to their old ids, which lets the
+//! recomputation stop early the moment a suffix comes back unchanged.
+//!
+//! The change's impact is computed the same local way:
+//! [`ConsArena::diff`] short-circuits on shared ids, so
+//! [`MaintainedFdd::apply_edits`] returns the exact [`ChangeImpact`]
+//! after touching only the changed corridor — microseconds where
+//! [`ChangeImpact::between`] re-derives both diagrams from scratch.
+
+use std::collections::HashMap;
+
+use fw_model::{FieldId, Firewall, Rule};
+
+use crate::cons::{ConsArena, ConsId};
+use crate::impact::{ChangeImpact, Edit};
+use crate::CoreError;
+
+/// Per-rule prepend cache: `(field, tail node)` → prepended result. Valid
+/// for the life of the arena (it is append-only) and for this rule's
+/// content wherever the rule moves; cleared when the arena is compacted.
+type PrependMemo = HashMap<(usize, ConsId), ConsId>;
+
+/// A firewall with its FDD kept incrementally up to date (see module
+/// docs).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_core::CoreError> {
+/// use fw_core::{Edit, MaintainedFdd};
+/// use fw_model::{paper, Decision, Rule};
+///
+/// let mut m = MaintainedFdd::new(paper::team_a())?;
+/// // §8.1's common case: a new blanket rule at the top — one prepend.
+/// let impact = m.apply_edits(&[Edit::Insert {
+///     index: 0,
+///     rule: Rule::catch_all(m.firewall().schema(), Decision::Discard),
+/// }])?;
+/// assert!(!impact.is_noop());
+/// let fdd = m.to_fdd()?; // servable post-edit diagram
+/// assert!(fdd.node_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaintainedFdd {
+    firewall: Firewall,
+    arena: ConsArena,
+    /// `suffix[i]` = diagram of rules `i..n`; `suffix[n]` = unmatched
+    /// sentinel. Always `firewall.len() + 1` entries.
+    suffix: Vec<ConsId>,
+    /// Parallel to the rules: each rule's prepend cache travels with it.
+    memos: Vec<PrependMemo>,
+}
+
+impl MaintainedFdd {
+    /// Builds the suffix chain for `firewall`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotComprehensive`] if some packet matches no rule
+    /// (as for [`crate::Fdd::from_firewall`]).
+    pub fn new(firewall: Firewall) -> Result<MaintainedFdd, CoreError> {
+        let mut m = MaintainedFdd {
+            arena: ConsArena::new(firewall.schema().clone()),
+            suffix: Vec::new(),
+            memos: firewall
+                .rules()
+                .iter()
+                .map(|_| PrependMemo::new())
+                .collect(),
+            firewall,
+        };
+        let mut chain = vec![m.arena.terminal(None)];
+        for i in (0..m.firewall.len()).rev() {
+            let tail = *chain.last().expect("chain is nonempty");
+            let next = prepend(&mut m.arena, &m.firewall.rules()[i], &mut m.memos[i], tail);
+            chain.push(next);
+        }
+        chain.reverse();
+        m.suffix = chain;
+        if let Some(witness) = m.arena.unmatched_witness(m.root()) {
+            return Err(CoreError::NotComprehensive { witness });
+        }
+        Ok(m)
+    }
+
+    /// The maintained policy.
+    pub fn firewall(&self) -> &Firewall {
+        &self.firewall
+    }
+
+    /// The canonical id of the full policy's diagram (`S_0`). Stable until
+    /// the next [`apply`](Self::apply) / [`apply_edits`](Self::apply_edits)
+    /// call; ids from before and after an `apply` may be compared and
+    /// diffed ([`diff_from`](Self::diff_from)).
+    pub fn root(&self) -> ConsId {
+        self.suffix[0]
+    }
+
+    /// Nodes reachable from the current root.
+    pub fn node_count(&self) -> usize {
+        self.arena.live_from(&[self.root()])
+    }
+
+    /// Total nodes interned in the arena, including garbage from past
+    /// edits (see [`compact`](Self::compact)).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Exports the current diagram as a standalone reduced [`crate::Fdd`]
+    /// — the form the compiled runtime lowers.
+    ///
+    /// # Errors
+    ///
+    /// Never fails after a successful construction or edit (both verify
+    /// comprehensiveness); the `Result` mirrors [`ConsArena::to_fdd`].
+    pub fn to_fdd(&self) -> Result<crate::Fdd, CoreError> {
+        self.arena.to_fdd(self.root())
+    }
+
+    /// Patches the suffix chain and policy under `edits`, in order,
+    /// without computing the impact. On error the maintained state is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Index/validation errors as for [`Edit::apply`];
+    /// [`CoreError::NotComprehensive`] if the edited policy no longer
+    /// decides every packet.
+    pub fn apply(&mut self, edits: &[Edit]) -> Result<(), CoreError> {
+        // Stage the policy first: all index arithmetic is validated on a
+        // scratch copy before any chain surgery, so the error path below
+        // is only the (rare) comprehensiveness failure.
+        let saved_fw = self.firewall.clone();
+        let saved_suffix = self.suffix.clone();
+        let mut staged = self.firewall.clone();
+        for e in edits {
+            e.apply_in_place(&mut staged)?;
+        }
+
+        let mut fw = saved_fw.clone();
+        for e in edits {
+            self.patch_one(&mut fw, e)
+                .expect("edits validated on the staged policy");
+        }
+        debug_assert_eq!(fw, staged);
+        self.firewall = fw;
+
+        if let Some(witness) = self.arena.unmatched_witness(self.root()) {
+            // Roll back. The chain ids are still valid (the arena is
+            // append-only), but the per-rule memo vector was reshaped by
+            // the failed edits — rebuilding it from scratch on this rare
+            // path keeps the happy path free of deep snapshots.
+            self.firewall = saved_fw;
+            self.suffix = saved_suffix;
+            self.memos = self
+                .firewall
+                .rules()
+                .iter()
+                .map(|_| PrependMemo::new())
+                .collect();
+            return Err(CoreError::NotComprehensive { witness });
+        }
+        Ok(())
+    }
+
+    /// Applies one already validated edit to `fw` and the chain.
+    fn patch_one(&mut self, fw: &mut Firewall, edit: &Edit) -> Result<(), CoreError> {
+        match edit {
+            Edit::Insert { index, rule } => {
+                fw.insert_rule(*index, rule.clone())?;
+                self.memos.insert(*index, PrependMemo::new());
+                let s = prepend(
+                    &mut self.arena,
+                    rule,
+                    &mut self.memos[*index],
+                    self.suffix[*index],
+                );
+                self.suffix.insert(*index, s);
+                self.reprepend(fw, *index, *index);
+            }
+            Edit::Remove { index } => {
+                fw.remove_rule(*index)?;
+                self.memos.remove(*index);
+                self.suffix.remove(*index);
+                self.reprepend(fw, *index, *index);
+            }
+            Edit::Replace { index, rule } => {
+                fw.replace_rule(*index, rule.clone())?;
+                self.memos[*index] = PrependMemo::new();
+                self.suffix[*index] = prepend(
+                    &mut self.arena,
+                    rule,
+                    &mut self.memos[*index],
+                    self.suffix[*index + 1],
+                );
+                self.reprepend(fw, *index, *index);
+            }
+            Edit::Swap { first, second } => {
+                fw.swap_rules(*first, *second)?;
+                if first == second {
+                    return Ok(());
+                }
+                let (lo, hi) = (*first.min(second), *first.max(second));
+                self.memos.swap(lo, hi);
+                self.suffix[hi] = prepend(
+                    &mut self.arena,
+                    &fw.rules()[hi],
+                    &mut self.memos[hi],
+                    self.suffix[hi + 1],
+                );
+                self.reprepend(fw, hi, lo);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes `suffix[from-1] .. suffix[0]` bottom-up. Below
+    /// `lowest_edited` every rule is unchanged from before the edit, so
+    /// the moment a recomputed suffix comes back with its old id
+    /// (hash-consing guarantees equal function ⇒ equal id at equal
+    /// structure) everything further up is unchanged too and the loop
+    /// stops.
+    fn reprepend(&mut self, fw: &Firewall, from: usize, lowest_edited: usize) {
+        for j in (0..from).rev() {
+            let next = prepend(
+                &mut self.arena,
+                &fw.rules()[j],
+                &mut self.memos[j],
+                self.suffix[j + 1],
+            );
+            if j < lowest_edited && next == self.suffix[j] {
+                return;
+            }
+            self.suffix[j] = next;
+        }
+    }
+
+    /// The exact impact of everything applied since `old_root` (a
+    /// [`root`](Self::root) snapshot from this maintained diagram): a
+    /// short-circuit diff that only walks where the diagrams differ.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConsArena::diff`].
+    pub fn diff_from(&self, old_root: ConsId) -> Result<ChangeImpact, CoreError> {
+        Ok(ChangeImpact::from_discrepancies(
+            self.arena.diff(old_root, self.root())?,
+        ))
+    }
+
+    /// Applies an edit batch and returns its exact impact — the
+    /// maintained equivalent of [`ChangeImpact::of_edits`], at corridor
+    /// cost instead of whole-policy cost. On error the maintained state
+    /// is unchanged.
+    ///
+    /// The arena is compacted afterwards when past edits have left it
+    /// mostly garbage, so long-lived serving loops stay bounded by the
+    /// live diagram, not the edit history.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_edits(&mut self, edits: &[Edit]) -> Result<ChangeImpact, CoreError> {
+        let old_root = self.root();
+        self.apply(edits)?;
+        let impact = self.diff_from(old_root)?;
+        self.maybe_compact();
+        Ok(impact)
+    }
+
+    /// Drops arena garbage once it dominates the live chain. Invalidates
+    /// previously returned [`root`](Self::root) snapshots, so only the
+    /// batch-level API calls it.
+    fn maybe_compact(&mut self) {
+        if self.arena.len() > 4096 && self.arena.len() > 4 * self.arena.live_from(&self.suffix) {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arena keeping only the live chain; past
+    /// [`root`](Self::root) snapshots become invalid and every per-rule
+    /// prepend cache is reset.
+    pub fn compact(&mut self) {
+        self.arena.compact(&mut self.suffix);
+        for m in &mut self.memos {
+            m.clear();
+        }
+    }
+}
+
+/// `prepend(rule, tail)`: the diagram of "if `match(rule)` then
+/// `rule.decision()` else `tail`", built by splitting `tail`'s edges along
+/// the rule's predicate corridor only. Outside the corridor children are
+/// kept by id (shared, never visited); inside it the recursion descends
+/// one field at a time; once every remaining field of the rule is
+/// unconstrained the whole cell decides `rule.decision()` and `tail` is
+/// dropped. Memoised per `(field, tail node)` in `memo`, which outlives
+/// the call (see [`PrependMemo`]).
+fn prepend(arena: &mut ConsArena, rule: &Rule, memo: &mut PrependMemo, tail: ConsId) -> ConsId {
+    let d = arena.schema().len();
+    // wild_from[f]: the rule's fields f.. are all unconstrained — every
+    // packet reaching field f matches, first-match decides the rule.
+    let mut wild_from = vec![true; d + 1];
+    for f in (0..d).rev() {
+        let fid = FieldId(f);
+        let dom = arena.schema().field(fid).domain();
+        wild_from[f] = wild_from[f + 1] && rule.predicate().set(fid).covers(dom);
+    }
+    prepend_rec(arena, rule, &wild_from, memo, 0, tail)
+}
+
+// Depth is bounded by the schema's field count, so plain recursion is
+// safe here.
+fn prepend_rec(
+    arena: &mut ConsArena,
+    rule: &Rule,
+    wild_from: &[bool],
+    memo: &mut PrependMemo,
+    field: usize,
+    tail: ConsId,
+) -> ConsId {
+    if wild_from[field] {
+        return arena.terminal(Some(rule.decision()));
+    }
+    if let Some(&r) = memo.get(&(field, tail)) {
+        return r;
+    }
+    let fid = FieldId(field);
+    let set = rule.predicate().set(fid);
+    // Phase 1 (arena borrowed shared): split the tail's edges into parts
+    // outside the rule's set — whose subdiagrams are kept verbatim by id,
+    // this is where the sharing comes from — and parts inside it, queued
+    // for descent. A tail constant on this field (terminal or later-field
+    // node) contributes one virtual full-domain edge to itself.
+    let mut parts: Vec<(ConsId, fw_model::IntervalSet)> = Vec::new();
+    let mut descend: Vec<(ConsId, fw_model::IntervalSet)> = Vec::new();
+    match arena.edges(tail) {
+        Some((f, edges)) if f == fid => {
+            for (label, child) in edges {
+                let outside = label.subtract(set);
+                if !outside.is_empty() {
+                    parts.push((*child, outside));
+                }
+                let inside = label.intersect(set);
+                if !inside.is_empty() {
+                    descend.push((*child, inside));
+                }
+            }
+        }
+        _ => {
+            let domain = arena.schema().field(fid).domain();
+            let outside = set.complement(domain);
+            if !outside.is_empty() {
+                parts.push((tail, outside));
+            }
+            descend.push((tail, set.clone()));
+        }
+    }
+    // Phase 2 (arena borrowed unique): descend into the corridor.
+    for (child, inside) in descend {
+        let c = prepend_rec(arena, rule, wild_from, memo, field + 1, child);
+        parts.push((c, inside));
+    }
+    let res = arena.internal(fid, parts);
+    memo.insert((field, tail), res);
+    res
+}
+
+/// The impact of an *edit-shaped* change computed over one hash-consed
+/// arena: both policies' suffix chains are built with the longest common
+/// rule-list tail constructed once and shared by id, then the roots are
+/// short-circuit diffed. For a batch of localized edits this touches the
+/// edited corridor plus one chain build; for the §8.1 top-insert it is
+/// one prepend. Used by [`ChangeImpact::of_edits`] and (behind a
+/// similarity check) [`ChangeImpact::between`].
+///
+/// # Errors
+///
+/// [`CoreError::SchemaMismatch`] for different schemas;
+/// [`CoreError::NotComprehensive`] if either policy leaves packets
+/// undecided.
+pub(crate) fn edit_path_impact(
+    before: &Firewall,
+    after: &Firewall,
+) -> Result<ChangeImpact, CoreError> {
+    if before.schema() != after.schema() {
+        return Err(CoreError::SchemaMismatch);
+    }
+    let common = common_tail(before, after);
+    let mut arena = ConsArena::new(before.schema().clone());
+    let mut tail = arena.terminal(None);
+    let mut memo = PrependMemo::new();
+    for i in (before.len() - common..before.len()).rev() {
+        memo.clear();
+        tail = prepend(&mut arena, &before.rules()[i], &mut memo, tail);
+    }
+    let chain_up = |arena: &mut ConsArena, fw: &Firewall, shared: ConsId| {
+        let mut root = shared;
+        let mut memo = PrependMemo::new();
+        for i in (0..fw.len() - common).rev() {
+            memo.clear();
+            root = prepend(arena, &fw.rules()[i], &mut memo, root);
+        }
+        root
+    };
+    let root_before = chain_up(&mut arena, before, tail);
+    let root_after = chain_up(&mut arena, after, tail);
+    for root in [root_before, root_after] {
+        if let Some(witness) = arena.unmatched_witness(root) {
+            return Err(CoreError::NotComprehensive { witness });
+        }
+    }
+    Ok(ChangeImpact::from_discrepancies(
+        arena.diff(root_before, root_after)?,
+    ))
+}
+
+/// Length of the longest common rule-list suffix — the part of the two
+/// policies an edit batch left untouched.
+pub(crate) fn common_tail(a: &Firewall, b: &Firewall) -> usize {
+    a.rules()
+        .iter()
+        .rev()
+        .zip(b.rules().iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::{paper, Decision, Rule, Schema};
+
+    #[test]
+    fn chain_matches_fig7_construction() {
+        for fw in [paper::team_a(), paper::team_b()] {
+            let m = MaintainedFdd::new(fw.clone()).unwrap();
+            let chain = m.to_fdd().unwrap();
+            let fresh = crate::Fdd::from_firewall_fast(&fw).unwrap();
+            assert!(chain.isomorphic(&fresh));
+        }
+    }
+
+    #[test]
+    fn top_insert_is_one_prepend_and_exact() {
+        let fw = paper::team_b();
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        let blocker = Rule::catch_all(fw.schema(), Decision::Discard);
+        let impact = m
+            .apply_edits(&[Edit::Insert {
+                index: 0,
+                rule: blocker.clone(),
+            }])
+            .unwrap();
+        let after = fw.with_rule_inserted(0, blocker).unwrap();
+        assert_eq!(m.firewall(), &after);
+        let (_, full) = ChangeImpact::of_edits(&fw, &[]).unwrap();
+        assert!(full.is_noop());
+        let expect = ChangeImpact::between(&fw, &after).unwrap();
+        assert_eq!(impact.affected_packets(), expect.affected_packets());
+        let chain = m.to_fdd().unwrap();
+        assert!(chain.isomorphic(&crate::Fdd::from_firewall_fast(&after).unwrap()));
+    }
+
+    #[test]
+    fn absorbed_edit_keeps_the_root_id() {
+        let fw = paper::team_a();
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        let root = m.root();
+        // Self-replacement: nothing changes, the chain re-conses to the
+        // same ids and the recomputation stops immediately.
+        let impact = m
+            .apply_edits(&[Edit::Replace {
+                index: 1,
+                rule: fw.rules()[1].clone(),
+            }])
+            .unwrap();
+        assert!(impact.is_noop());
+        assert_eq!(m.root(), root);
+    }
+
+    #[test]
+    fn non_comprehensive_edit_rolls_back() {
+        let schema = Schema::new(vec![
+            fw_model::FieldDef::new("a", 3).unwrap(),
+            fw_model::FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let fw = Firewall::parse(schema, "a=0-3 -> accept\n* -> discard\n").unwrap();
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        let root = m.root();
+        let err = m.apply_edits(&[Edit::Remove { index: 1 }]).unwrap_err();
+        assert!(matches!(err, CoreError::NotComprehensive { .. }));
+        assert_eq!(m.firewall(), &fw);
+        assert_eq!(m.root(), root);
+        // The maintained diagram still works after the failed batch.
+        let ok = m
+            .apply_edits(&[Edit::Replace {
+                index: 0,
+                rule: Rule::catch_all(m.firewall().schema(), Decision::Accept),
+            }])
+            .unwrap();
+        assert!(!ok.is_noop());
+    }
+
+    #[test]
+    fn every_edit_variant_tracks_the_policy() {
+        let fw = paper::team_a();
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        let extra = Rule::catch_all(fw.schema(), Decision::DiscardLog);
+        let edits = vec![
+            Edit::Insert {
+                index: 1,
+                rule: extra.clone(),
+            },
+            Edit::Swap {
+                first: 0,
+                second: 1,
+            },
+            Edit::Replace {
+                index: 2,
+                rule: extra,
+            },
+            Edit::Remove { index: 0 },
+        ];
+        let mut expect = fw.clone();
+        for e in &edits {
+            expect = e.apply(&expect).unwrap();
+        }
+        m.apply_edits(&edits).unwrap();
+        assert_eq!(m.firewall(), &expect);
+        let chain = m.to_fdd().unwrap();
+        assert!(chain.isomorphic(&crate::Fdd::from_firewall_fast(&expect).unwrap()));
+        for p in expect.witnesses() {
+            assert_eq!(chain.decision_for(&p), expect.decision_for(&p));
+        }
+    }
+
+    #[test]
+    fn edit_path_impact_matches_full_compare() {
+        let fw = paper::team_a();
+        let blocker = Rule::catch_all(fw.schema(), Decision::Discard);
+        let after = fw.with_rule_inserted(0, blocker).unwrap();
+        let local = edit_path_impact(&fw, &after).unwrap();
+        let full = ChangeImpact::between(&fw, &after).unwrap();
+        assert_eq!(local.affected_packets(), full.affected_packets());
+        for d in local.discrepancies() {
+            let p = d.witness();
+            assert_eq!(fw.decision_for(&p), Some(d.left()));
+            assert_eq!(after.decision_for(&p), Some(d.right()));
+        }
+        assert_eq!(common_tail(&fw, &after), fw.len());
+    }
+
+    #[test]
+    fn compaction_preserves_the_diagram() {
+        let fw = paper::team_b();
+        let mut m = MaintainedFdd::new(fw).unwrap();
+        let before = m.to_fdd().unwrap();
+        m.compact();
+        let after = m.to_fdd().unwrap();
+        assert!(before.isomorphic(&after));
+        // The compacted arena holds the whole suffix chain (not just the
+        // root's diagram) and nothing else.
+        assert!(m.arena_len() >= m.node_count());
+        // Edits still apply after a compaction reset the memos.
+        let flip =
+            m.firewall().rules()[0].with_decision(m.firewall().rules()[0].decision().inverted());
+        m.apply_edits(&[Edit::Replace {
+            index: 0,
+            rule: flip,
+        }])
+        .unwrap();
+    }
+
+    #[test]
+    fn partial_policy_is_rejected_with_witness() {
+        let schema = Schema::new(vec![
+            fw_model::FieldDef::new("a", 3).unwrap(),
+            fw_model::FieldDef::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let fw = Firewall::parse(schema, "a=0-3 -> accept\n").unwrap();
+        match MaintainedFdd::new(fw) {
+            Err(CoreError::NotComprehensive { witness }) => {
+                assert!(witness.contains("a="), "witness was {witness}");
+            }
+            other => panic!("expected NotComprehensive, got {other:?}"),
+        }
+    }
+}

@@ -14,6 +14,13 @@
 //! terminals carry *pairs* of decisions; everything the evaluation needs —
 //! equivalence, cell counts, affected-packet counts, full human-readable
 //! discrepancy listings — reads off it.
+//!
+//! The product here still builds both diagrams from scratch before
+//! pairing them. For the edit path — two *versions* of one policy — the
+//! hash-consed diff in `cons.rs` goes one step further: both versions
+//! live in one arena, shared subgraphs have equal ids, and the pairing
+//! short-circuits to "no discrepancy" without visiting them (see
+//! [`ChangeImpact::between`](crate::ChangeImpact::between)).
 
 use std::collections::HashMap;
 

@@ -35,7 +35,10 @@
 //! * [`LiveMatcher`] — online serving: the policy plus its image behind an
 //!   atomically swapped `Arc`, where [`LiveMatcher::apply_edits`] runs the
 //!   edit→impact→incremental-recompile pipeline and in-flight snapshots
-//!   finish on the image they started with (see `live.rs`);
+//!   finish on the image they started with. The policy side is a
+//!   [`fw_core::MaintainedFdd`], so the impact and the post-edit diagram
+//!   both come from patching the maintained suffix chain along the edited
+//!   corridor rather than rebuilding from the rule list (see `live.rs`);
 //! * [`CompileStats`] / [`RecompileStats`] — node/arena/depth accounting in
 //!   the style of `fw_core::FddStats`, plus the shared-vs-fresh split of an
 //!   incremental swap.

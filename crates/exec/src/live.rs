@@ -17,11 +17,19 @@
 //! whole edit→impact→recompile pipeline, so concurrent edit batches apply
 //! in a definite order; the [`epoch`](LiveMatcher::epoch) counter ticks
 //! once per published image for cheap change detection.
+//!
+//! The write path is incremental end to end: the matcher keeps the
+//! policy's FDD **maintained** between edits ([`MaintainedFdd`] — the
+//! hash-consed suffix chain of fw-core), so an edit batch patches the
+//! edited corridor of the diagram, short-circuit diffs it against the
+//! previous root for the impact report, exports the patched FDD, and
+//! splices it into the served image via [`CompiledFdd::recompile`].
+//! Nothing in the pipeline rebuilds from the rule list.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use fw_core::{ChangeImpact, Edit, Fdd};
+use fw_core::{Edit, MaintainedFdd};
 use fw_model::{Decision, Firewall, Packet};
 
 use crate::{CompiledFdd, ExecError, RecompileStats};
@@ -50,9 +58,10 @@ use crate::{CompiledFdd, ExecError, RecompileStats};
 /// ```
 #[derive(Debug)]
 pub struct LiveMatcher {
-    /// The authoritative rule list; the mutex serializes writers across the
-    /// whole edit pipeline (readers never touch it).
-    policy: Mutex<Firewall>,
+    /// The authoritative policy with its FDD kept maintained between
+    /// edits; the mutex serializes writers across the whole edit pipeline
+    /// (readers never touch it).
+    policy: Mutex<MaintainedFdd>,
     /// The published image. Readers only clone the `Arc` under the read
     /// lock; classification happens entirely on the clone.
     image: RwLock<Arc<CompiledFdd>>,
@@ -77,15 +86,18 @@ pub struct SwapReport {
 }
 
 impl LiveMatcher {
-    /// Compiles `policy` and starts serving it at epoch 0.
+    /// Compiles `policy`, builds its maintained FDD, and starts serving at
+    /// epoch 0. Construction pays for the full suffix chain once so that
+    /// every later [`apply_edits`](Self::apply_edits) is incremental.
     ///
     /// # Errors
     ///
     /// As for [`CompiledFdd::from_firewall`].
     pub fn new(policy: Firewall) -> Result<LiveMatcher, ExecError> {
         let image = CompiledFdd::from_firewall(&policy)?;
+        let maintained = MaintainedFdd::new(policy)?;
         Ok(LiveMatcher {
-            policy: Mutex::new(policy),
+            policy: Mutex::new(maintained),
             image: RwLock::new(Arc::new(image)),
             epoch: AtomicU64::new(0),
         })
@@ -109,6 +121,7 @@ impl LiveMatcher {
         self.policy
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+            .firewall()
             .clone()
     }
 
@@ -118,10 +131,12 @@ impl LiveMatcher {
         self.load().classify(packet)
     }
 
-    /// Applies an edit batch: impact analysis, post-edit FDD, incremental
-    /// recompile against the current image, atomic swap. A no-op batch
-    /// (every packet decides as before) updates the stored policy text but
-    /// publishes nothing — the served image is already correct.
+    /// Applies an edit batch: patch the maintained FDD along the edited
+    /// corridor, short-circuit diff it against the pre-edit root for the
+    /// impact, export the patched diagram, incrementally recompile against
+    /// the current image, atomic swap. A no-op batch (every packet decides
+    /// as before) updates the stored policy text but publishes nothing —
+    /// the served image is already correct.
     ///
     /// Writers serialize: concurrent calls apply in mutex order, each
     /// against the policy the previous one left. Readers are never blocked
@@ -134,10 +149,9 @@ impl LiveMatcher {
     /// image and stored policy are untouched on error.
     pub fn apply_edits(&self, edits: &[Edit]) -> Result<SwapReport, ExecError> {
         let mut policy = self.policy.lock().unwrap_or_else(PoisonError::into_inner);
-        let (after, impact) = ChangeImpact::of_edits(&policy, edits)?;
-        let affected_packets = impact.affected_packets();
+        let impact = policy.apply_edits(edits)?;
+        let affected_packets = impact.affected_packets_in(policy.firewall().schema());
         if impact.is_noop() {
-            *policy = after;
             return Ok(SwapReport {
                 swapped: false,
                 epoch: self.epoch(),
@@ -145,12 +159,11 @@ impl LiveMatcher {
                 recompile: None,
             });
         }
-        let fdd = Fdd::from_firewall_fast(&after)?.reduced();
+        let fdd = policy.to_fdd()?;
         let current = self.load();
         let (next, stats) = current.recompile(&fdd, &impact)?;
         *self.image.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        *policy = after;
         Ok(SwapReport {
             swapped: true,
             epoch,

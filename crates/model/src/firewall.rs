@@ -197,6 +197,83 @@ impl Firewall {
         })
     }
 
+    /// Inserts `rule` at position `index` in place — the allocation-free
+    /// counterpart of [`Firewall::with_rule_inserted`] for callers that
+    /// thread one owned policy through an edit batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Firewall::with_rule_inserted`]; the firewall is unchanged
+    /// on error.
+    pub fn insert_rule(&mut self, index: usize, rule: Rule) -> Result<(), ModelError> {
+        if index > self.rules.len() {
+            return Err(ModelError::InvalidFirewall {
+                message: format!("insert index {index} out of range 0..={}", self.rules.len()),
+            });
+        }
+        rule.validate(&self.schema)?;
+        self.rules.insert(index, rule);
+        Ok(())
+    }
+
+    /// Removes the rule at `index` in place.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Firewall::with_rule_removed`]; the firewall is unchanged
+    /// on error.
+    pub fn remove_rule(&mut self, index: usize) -> Result<(), ModelError> {
+        if index >= self.rules.len() {
+            return Err(ModelError::InvalidFirewall {
+                message: format!("remove index {index} out of range 0..{}", self.rules.len()),
+            });
+        }
+        if self.rules.len() == 1 {
+            return Err(ModelError::InvalidFirewall {
+                message: "removing the only rule would leave no rules".to_owned(),
+            });
+        }
+        self.rules.remove(index);
+        Ok(())
+    }
+
+    /// Replaces the rule at `index` in place.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Firewall::with_rule_replaced`]; the firewall is unchanged
+    /// on error.
+    pub fn replace_rule(&mut self, index: usize, rule: Rule) -> Result<(), ModelError> {
+        if index >= self.rules.len() {
+            return Err(ModelError::InvalidFirewall {
+                message: format!("replace index {index} out of range 0..{}", self.rules.len()),
+            });
+        }
+        rule.validate(&self.schema)?;
+        self.rules[index] = rule;
+        Ok(())
+    }
+
+    /// Swaps the rules at `first` and `second` in place (a no-op when the
+    /// indices are equal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFirewall`] if either index is out of
+    /// range; the firewall is unchanged on error.
+    pub fn swap_rules(&mut self, first: usize, second: usize) -> Result<(), ModelError> {
+        if first >= self.rules.len() || second >= self.rules.len() {
+            return Err(ModelError::InvalidFirewall {
+                message: format!(
+                    "swap indices {first},{second} out of range 0..{}",
+                    self.rules.len()
+                ),
+            });
+        }
+        self.rules.swap(first, second);
+        Ok(())
+    }
+
     /// Lowers every general rule into simple rules (§3.1), preserving
     /// semantics and relative order.
     pub fn to_simple_rules(&self) -> Firewall {
@@ -319,6 +396,39 @@ mod tests {
             .with_rule_inserted(9, Rule::catch_all(fw.schema(), Decision::Accept))
             .is_err());
         assert!(fw.with_rule_removed(9).is_err());
+    }
+
+    #[test]
+    fn in_place_edits_match_the_cloning_editors() {
+        let fw = team_a();
+        let extra = Rule::catch_all(fw.schema(), Decision::DiscardLog);
+
+        let mut m = fw.clone();
+        m.insert_rule(1, extra.clone()).unwrap();
+        assert_eq!(m, fw.with_rule_inserted(1, extra.clone()).unwrap());
+
+        m.remove_rule(1).unwrap();
+        assert_eq!(m, fw);
+
+        m.replace_rule(0, extra.clone()).unwrap();
+        assert_eq!(m, fw.with_rule_replaced(0, extra.clone()).unwrap());
+
+        let mut s = fw.clone();
+        s.swap_rules(0, 2).unwrap();
+        assert_eq!(s.rules()[0], fw.rules()[2]);
+        assert_eq!(s.rules()[2], fw.rules()[0]);
+        s.swap_rules(1, 1).unwrap();
+
+        // Errors leave the firewall untouched.
+        let before = s.clone();
+        assert!(s.insert_rule(99, extra.clone()).is_err());
+        assert!(s.remove_rule(99).is_err());
+        assert!(s.replace_rule(99, extra).is_err());
+        assert!(s.swap_rules(0, 99).is_err());
+        assert_eq!(s, before);
+
+        let mut single = Firewall::parse(Schema::paper_example(), "* -> accept\n").unwrap();
+        assert!(single.remove_rule(0).is_err());
     }
 
     #[test]

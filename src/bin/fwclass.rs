@@ -443,15 +443,18 @@ fn parse_edits(schema: &Schema, text: &str) -> Result<Vec<diverse_firewall::core
     Ok(edits)
 }
 
-/// Applies each edit in sequence, timing the full recompile against the
-/// incremental splice and verifying both agree on the whole replay trace.
+/// Applies each edit in sequence through a persistent [`MaintainedFdd`],
+/// timing the maintained pipeline (patch + diff + export + splice)
+/// against the full one (whole-policy impact + FDD rebuild + full
+/// recompile) and verifying the spliced image agrees with a fresh compile
+/// on the whole replay trace after every edit.
 fn replay_edits(
     fw: &Firewall,
     compiled: &CompiledFdd,
     trace: &PacketTrace,
     edits: &[diverse_firewall::core::Edit],
 ) -> Result<(), ExitCode> {
-    use diverse_firewall::core::{ChangeImpact, Fdd};
+    use diverse_firewall::core::{ChangeImpact, Fdd, MaintainedFdd};
     if edits.is_empty() {
         println!("edit replay: no edits in file");
         return Ok(());
@@ -459,8 +462,18 @@ fn replay_edits(
     let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
     let mut cur_fw = fw.clone();
     let mut cur_img = compiled.clone();
+    // One chain for the whole replay, patched edit by edit — what a
+    // LiveMatcher keeps between batches.
+    let mut maintained = match MaintainedFdd::new(fw.clone()) {
+        Ok(m) => m,
+        Err(err) => {
+            eprintln!("fwclass: building maintained FDD: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
     let (mut full_out, mut inc_out) = (Vec::new(), Vec::new());
     let (mut full_total, mut inc_total) = (0f64, 0f64);
+    let (mut e2e_full_total, mut e2e_inc_total) = (0f64, 0f64);
     for (i, e) in edits.iter().enumerate() {
         let t = Instant::now();
         let (after, impact) = match ChangeImpact::of_edits(&cur_fw, std::slice::from_ref(e)) {
@@ -483,8 +496,8 @@ fn replay_edits(
         let full_us = us(t.elapsed());
 
         let t = Instant::now();
-        let fdd = match Fdd::from_firewall_fast(&after) {
-            Ok(f) => f.reduced(),
+        match Fdd::from_firewall_fast(&after) {
+            Ok(f) => std::hint::black_box(f.reduced()),
             Err(err) => {
                 eprintln!("fwclass: edit {i}: {err}");
                 return Err(ExitCode::FAILURE);
@@ -492,8 +505,38 @@ fn replay_edits(
         };
         let fdd_us = us(t.elapsed());
 
+        let old_root = maintained.root();
         let t = Instant::now();
-        let (inc, stats) = match cur_img.recompile(&fdd, &impact) {
+        if let Err(err) = maintained.apply(std::slice::from_ref(e)) {
+            eprintln!("fwclass: edit {i}: maintained patch failed: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+        let maintain_us = us(t.elapsed());
+        let t = Instant::now();
+        let m_impact = match maintained.diff_from(old_root) {
+            Ok(im) => im,
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: maintained diff failed: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let diff_us = us(t.elapsed());
+        let t = Instant::now();
+        let m_fdd = match maintained.to_fdd() {
+            Ok(f) => f,
+            Err(err) => {
+                eprintln!("fwclass: edit {i}: maintained export failed: {err}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let export_us = us(t.elapsed());
+        if m_impact.affected_packets() != impact.affected_packets() {
+            eprintln!("fwclass: BUG: edit {i}: maintained impact disagrees with of_edits");
+            return Err(ExitCode::FAILURE);
+        }
+
+        let t = Instant::now();
+        let (inc, stats) = match cur_img.recompile(&m_fdd, &m_impact) {
             Ok(r) => r,
             Err(err) => {
                 eprintln!("fwclass: edit {i}: incremental recompile failed: {err}");
@@ -505,13 +548,14 @@ fn replay_edits(
         full.classify_batch_into(trace.packets(), &mut full_out);
         inc.classify_batch_into(trace.packets(), &mut inc_out);
         if full_out != inc_out {
-            eprintln!("fwclass: BUG: edit {i}: incremental image disagrees with full recompile");
+            eprintln!("fwclass: BUG: edit {i}: maintained image disagrees with full recompile");
             return Err(ExitCode::FAILURE);
         }
         println!(
             "edit {i}: full {full_us:.0} µs | incremental {inc_us:.0} µs (x{:.1}) | \
              {}/{} nodes reused, {} B copied, {} B fresh{} | \
-             {} changed region(s), impact {impact_us:.0} µs, fdd {fdd_us:.0} µs",
+             {} changed region(s), impact {impact_us:.0} µs, fdd {fdd_us:.0} µs | \
+             maintained patch {maintain_us:.0} + diff {diff_us:.0} + export {export_us:.0} µs",
             full_us / inc_us,
             stats.nodes_shared,
             stats.nodes,
@@ -526,14 +570,18 @@ fn replay_edits(
         );
         full_total += full_us;
         inc_total += inc_us;
+        e2e_full_total += impact_us + fdd_us + inc_us;
+        e2e_inc_total += maintain_us + diff_us + export_us + inc_us;
         cur_fw = after;
         cur_img = inc;
     }
     println!(
         "edit replay: {} edit(s), full {full_total:.0} µs vs incremental {inc_total:.0} µs \
-         (x{:.1}), all verified against the trace",
+         (x{:.1}) | edit-to-image: full pipeline {e2e_full_total:.0} µs vs maintained \
+         {e2e_inc_total:.0} µs (x{:.1}), all verified against the trace",
         edits.len(),
-        full_total / inc_total
+        full_total / inc_total,
+        e2e_full_total / e2e_inc_total
     );
     Ok(())
 }

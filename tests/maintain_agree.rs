@@ -1,0 +1,306 @@
+//! Equivalence oracle for incremental FDD maintenance: a
+//! [`MaintainedFdd`] suffix chain patched edit by edit must serve exactly
+//! the policy a from-scratch construction serves, and its short-circuit
+//! diff must report exactly the impact the full §4+§5 comparison pipeline
+//! reports. Probed on random synthesized policies with `fw_synth::evolve`
+//! edit batches (including `Swap`), on guaranteed no-op batches (where
+//! hash-consing must keep the root id bit-identical), on chains of
+//! batches applied to one long-lived chain, and exhaustively on every
+//! packet of a tiny 2-field schema — mirroring `recompile_agree.rs` one
+//! layer down.
+
+use diverse_firewall::core::{compare_firewalls, ChangeImpact, Edit, Fdd, MaintainedFdd};
+use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
+use diverse_firewall::synth::{evolve, EvolutionProfile, PacketTrace, Synthesizer};
+use proptest::prelude::*;
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+
+/// Probe packets: a random trace plus a rule-region-biased one, so both
+/// the broad domain and the corridors the rules carve get coverage.
+fn probes(fw: &Firewall, n: usize, seed: u64) -> Vec<Packet> {
+    let random = PacketTrace::random(fw.schema().clone(), n, seed);
+    let biased = PacketTrace::biased(fw, n, 0.3, seed + 1);
+    random
+        .packets()
+        .iter()
+        .chain(biased.packets())
+        .cloned()
+        .collect()
+}
+
+fn edits_for(fw: &Firewall, k: usize, seed: u64) -> Vec<Edit> {
+    evolve(fw, k, &EvolutionProfile::default(), seed)
+        .into_iter()
+        .map(|s| s.edit)
+        .collect()
+}
+
+/// The chain's exported diagram must decide every probe exactly as the
+/// first-match scan and the from-scratch construction do.
+fn assert_chain_serves(m: &MaintainedFdd, packets: &[Packet], tag: &str) {
+    let exported = m.to_fdd().unwrap();
+    let fresh = Fdd::from_firewall_fast(m.firewall()).unwrap();
+    for p in packets {
+        let linear = m.firewall().decision_for(p).expect("comprehensive policy");
+        assert_eq!(linear, exported.evaluate(p), "{tag}: chain diverges at {p}");
+        assert_eq!(
+            linear,
+            fresh.evaluate(p),
+            "{tag}: fresh construction diverges at {p}"
+        );
+    }
+}
+
+/// The maintained impact must agree with the whole-policy comparison
+/// pipeline: same affected-packet cardinality, and the same membership
+/// verdict on every probe.
+fn assert_impact_agrees(
+    before: &Firewall,
+    after: &Firewall,
+    impact: &ChangeImpact,
+    packets: &[Packet],
+    tag: &str,
+) {
+    let full = compare_firewalls(before, after).unwrap();
+    let full_count: u128 = full
+        .iter()
+        .fold(0u128, |n, d| n.saturating_add(d.packet_count()));
+    assert_eq!(
+        impact.affected_packets(),
+        full_count,
+        "{tag}: affected-packet count diverges from compare_firewalls"
+    );
+    for p in packets {
+        let in_full = full.iter().any(|d| d.predicate().matches(p));
+        assert_eq!(
+            impact.affects(p),
+            in_full,
+            "{tag}: affects({p}) diverges from compare_firewalls"
+        );
+        assert_eq!(
+            impact.affects(p),
+            before.decision_for(p) != after.decision_for(p),
+            "{tag}: affects({p}) diverges from first-match semantics"
+        );
+    }
+}
+
+/// One maintained batch, checked against both oracles; returns the
+/// impact for callers that assert more.
+fn assert_maintained_batch(
+    m: &mut MaintainedFdd,
+    edits: &[Edit],
+    packets: &[Packet],
+    tag: &str,
+) -> ChangeImpact {
+    let before = m.firewall().clone();
+    let impact = m.apply_edits(edits).unwrap();
+    assert_chain_serves(m, packets, tag);
+    assert_impact_agrees(&before, m.firewall(), &impact, packets, tag);
+    let (of_edits_after, of_edits_impact) = ChangeImpact::of_edits(&before, edits).unwrap();
+    assert_eq!(&of_edits_after, m.firewall(), "{tag}: policies diverge");
+    assert_eq!(
+        impact.affected_packets(),
+        of_edits_impact.affected_packets(),
+        "{tag}: maintained impact diverges from of_edits"
+    );
+    impact
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: on random synthesized policies, the freshly built chain
+    /// serves the policy, and every evolved edit batch (sizes 1/4/16,
+    /// the default profile includes `Swap`) patches it to a chain that
+    /// still agrees with the from-scratch construction, the full
+    /// comparison pipeline, and `of_edits`.
+    #[test]
+    fn maintained_chain_equals_fresh_on_random_policies(
+        seed in 0u64..10_000,
+        rules in 2usize..30,
+        edit_seed in 0u64..1_000,
+    ) {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let packets = probes(&fw, 200, edit_seed);
+        let base = MaintainedFdd::new(fw.clone()).unwrap();
+        assert_chain_serves(&base, &packets, "fresh chain");
+        for k in BATCH_SIZES {
+            let mut m = base.clone();
+            let edits = edits_for(&fw, k, edit_seed + k as u64);
+            assert_maintained_batch(&mut m, &edits, &packets, &format!("k={k}"));
+        }
+    }
+
+    /// Property: batches applied one after another to a single long-lived
+    /// chain stay exact — the serving-loop shape, where compaction may
+    /// strike at any batch boundary.
+    #[test]
+    fn chained_batches_stay_exact(
+        seed in 0u64..10_000,
+        steps in 1usize..5,
+    ) {
+        let fw = Synthesizer::new(seed).firewall(14);
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        for step in 0..steps {
+            let packets = probes(m.firewall(), 120, seed + step as u64);
+            let edits = edits_for(m.firewall(), 3, seed * 31 + step as u64);
+            assert_maintained_batch(&mut m, &edits, &packets, &format!("step {step}"));
+        }
+    }
+}
+
+/// A batch that replaces every rule with itself changes no packet:
+/// hash-consing must keep the root id bit-identical, and the impact must
+/// be a no-op with zero affected packets.
+#[test]
+fn noop_batches_keep_the_root_id() {
+    for seed in [5u64, 17, 99] {
+        let fw = Synthesizer::new(seed).firewall(12);
+        let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+        let root = m.root();
+        let edits: Vec<Edit> = (0..fw.len())
+            .map(|i| Edit::Replace {
+                index: i,
+                rule: fw.rules()[i].clone(),
+            })
+            .collect();
+        let impact = m.apply_edits(&edits).unwrap();
+        assert_eq!(
+            m.root(),
+            root,
+            "seed {seed}: self-replacement moved the root"
+        );
+        assert!(
+            impact.is_noop(),
+            "seed {seed}: self-replacement must be a no-op"
+        );
+        assert_eq!(impact.affected_packets(), 0);
+    }
+}
+
+/// Swapping two rules and swapping them back is the identity; a single
+/// swap of overlapping rules is tracked exactly.
+#[test]
+fn swaps_round_trip() {
+    let fw = Synthesizer::new(23).firewall(16);
+    let packets = probes(&fw, 200, 7);
+    let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+    let root = m.root();
+    assert_maintained_batch(
+        &mut m,
+        &[Edit::Swap {
+            first: 2,
+            second: 9,
+        }],
+        &packets,
+        "swap",
+    );
+    assert_maintained_batch(
+        &mut m,
+        &[Edit::Swap {
+            first: 2,
+            second: 9,
+        }],
+        &packets,
+        "swap back",
+    );
+    assert_eq!(m.root(), root, "swap round trip must restore the root id");
+    assert_eq!(&fw, m.firewall());
+}
+
+/// An edit that leaves some packet undecided must be rejected and leave
+/// the maintained state untouched — policy, root id, and service.
+#[test]
+fn non_comprehensive_edits_roll_back() {
+    let fw = Synthesizer::new(3).firewall(8);
+    let packets = probes(&fw, 100, 11);
+    let mut m = MaintainedFdd::new(fw.clone()).unwrap();
+    let root = m.root();
+    // Removing the final catch-all leaves the leftover region undecided.
+    let err = m
+        .apply_edits(&[Edit::Remove {
+            index: fw.len() - 1,
+        }])
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("not comprehensive"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(&fw, m.firewall(), "rollback must restore the policy");
+    assert_eq!(m.root(), root, "rollback must restore the root");
+    assert_chain_serves(&m, &packets, "after rollback");
+    // The chain still accepts further (valid) edits after a rollback.
+    let flip = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+    assert_maintained_batch(
+        &mut m,
+        &[Edit::Replace {
+            index: 0,
+            rule: flip,
+        }],
+        &packets,
+        "edit after rollback",
+    );
+}
+
+/// Exhaustive oracle: on a tiny 2-field schema (3 bits each) all 64
+/// packets are enumerable, so the maintained chain and its diffs are
+/// checked cell-by-cell — for evolved batches of every size in
+/// [`BATCH_SIZES`] and for a hand-rolled batch exercising every `Edit`
+/// variant (including a no-op self-replacement) in one sequence.
+#[test]
+fn maintained_matches_exhaustive_oracle_on_tiny_schema() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let decisions = [Decision::Accept, Decision::Discard, Decision::AcceptLog];
+    let all: Vec<Packet> = (0..8u64)
+        .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+        .collect();
+
+    for k in 0..8u64 {
+        let (a_lo, a_hi) = (k % 5, (k % 5) + 3);
+        let (b_lo, b_hi) = ((k * 3) % 6, ((k * 3) % 6) + 1);
+        let d1 = decisions[(k % 3) as usize];
+        let d2 = decisions[((k + 1) % 3) as usize];
+        let d3 = decisions[((k + 2) % 3) as usize];
+        let text =
+            format!("a={a_lo}-{a_hi}, b={b_lo}-{b_hi} -> {d1}\nb={b_lo} -> {d2}\n* -> {d3}\n");
+        let fw = Firewall::parse(schema.clone(), &text).unwrap();
+        let base = MaintainedFdd::new(fw.clone()).unwrap();
+        assert_chain_serves(&base, &all, &format!("policy {k}, fresh"));
+
+        for batch in BATCH_SIZES {
+            let mut m = base.clone();
+            let edits = edits_for(&fw, batch, k * 31 + batch as u64);
+            assert_maintained_batch(&mut m, &edits, &all, &format!("policy {k}, k={batch}"));
+        }
+
+        let flipped = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+        let widened = fw.rules()[1].with_decision(fw.rules()[1].decision().inverted());
+        let mixed = vec![
+            Edit::Replace {
+                index: 0,
+                rule: fw.rules()[0].clone(), // no-op self-replacement
+            },
+            Edit::Replace {
+                index: 0,
+                rule: flipped,
+            },
+            Edit::Insert {
+                index: 1,
+                rule: widened,
+            },
+            Edit::Swap {
+                first: 0,
+                second: 1,
+            },
+            Edit::Remove { index: 1 },
+        ];
+        let mut m = base.clone();
+        assert_maintained_batch(&mut m, &mixed, &all, &format!("policy {k}, mixed batch"));
+    }
+}
