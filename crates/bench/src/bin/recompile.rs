@@ -33,7 +33,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fw_core::{compare_firewalls, ChangeImpact, Edit, Fdd, MaintainedFdd};
+use fw_core::{compare_firewalls, ChangeImpact, Edit, Fdd, MaintainStats, MaintainedFdd};
 use fw_exec::CompiledFdd;
 use fw_model::{Decision, Firewall};
 use fw_synth::{evolve, EvolutionProfile, PacketTrace};
@@ -65,6 +65,7 @@ struct Row {
     bytes_fresh: usize,
     lane_arena_rebuilt: bool,
     lane_arena_bytes: usize,
+    maintain: MaintainStats,
 }
 
 impl Row {
@@ -81,9 +82,11 @@ impl Row {
     }
 }
 
-fn median_us(mut times: Vec<f64>) -> f64 {
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    times[times.len() / 2] * 1e6
+/// Minimum over repeats: the best observed run carries the least
+/// scheduler and allocator interference, which is what a latency
+/// comparison between two deterministic pipelines should measure.
+fn best_us(times: Vec<f64>) -> f64 {
+    times.into_iter().fold(f64::INFINITY, f64::min) * 1e6
 }
 
 fn time_repeats(repeats: u32, mut f: impl FnMut()) -> Vec<f64> {
@@ -141,33 +144,28 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
     for (bi, k) in BATCHES.into_iter().enumerate() {
         let (edits, after, impact, impact_us) = edit_batch(fw, k, seed + bi as u64);
 
-        let t = Instant::now();
-        std::hint::black_box(
-            Fdd::from_firewall_fast(&after)
-                .expect("post-edit policies are comprehensive")
-                .reduced(),
-        );
-        let post_edit_fdd_us = t.elapsed().as_secs_f64() * 1e6;
-
-        // The old whole-policy impact pipeline (§4 shaping + §5
-        // comparison over both rule lists), for the localized-vs-full
-        // split in the report.
-        let t = Instant::now();
-        std::hint::black_box(compare_firewalls(fw, &after).expect("benchmark policies compare"));
-        let impact_full_us = t.elapsed().as_secs_f64() * 1e6;
-
-        // The maintained path, each repeat on a fresh clone of the
-        // per-workload chain (cloning is untimed; a server edits its one
-        // long-lived chain in place).
+        // Both pipelines' repeats interleave round by round, so a slow
+        // scheduler phase penalises the maintained and full paths alike
+        // instead of skewing whichever happened to run through it. The
+        // maintained side runs each repeat on a fresh clone of the
+        // per-workload chain (cloning is untimed; a server edits its
+        // one long-lived chain in place); the full side repeats the
+        // post-edit FDD rebuild from the rule list and the old
+        // whole-policy impact pipeline (§4 shaping + §5 comparison over
+        // both rule lists) for the localized-vs-full split.
         let mut maintain_times = Vec::new();
         let mut local_times = Vec::new();
         let mut export_times = Vec::new();
+        let mut post_edit_times = Vec::new();
+        let mut impact_full_times = Vec::new();
         let mut maintained_out = None;
         for _ in 0..mode.repeats {
             let mut m = maintained_base.clone();
             let old_root = m.root();
             let t = Instant::now();
-            m.apply(&edits).expect("evolution edits maintain");
+            let m_stats = m
+                .apply_with_stats(&edits)
+                .expect("evolution edits maintain");
             maintain_times.push(t.elapsed().as_secs_f64());
             let t = Instant::now();
             let m_impact = m.diff_from(old_root).expect("maintained roots diff");
@@ -175,12 +173,43 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
             let t = Instant::now();
             let m_fdd = m.to_fdd().expect("maintained chain exports");
             export_times.push(t.elapsed().as_secs_f64());
-            maintained_out = Some((m_impact, m_fdd));
+            maintained_out = Some((m_impact, m_fdd, m_stats));
+
+            let t = Instant::now();
+            std::hint::black_box(
+                Fdd::from_firewall_fast(&after)
+                    .expect("post-edit policies are comprehensive")
+                    .reduced(),
+            );
+            post_edit_times.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            std::hint::black_box(
+                compare_firewalls(fw, &after).expect("benchmark policies compare"),
+            );
+            impact_full_times.push(t.elapsed().as_secs_f64());
         }
-        let maintain_us = median_us(maintain_times);
-        let impact_local_us = median_us(local_times);
-        let export_fdd_us = median_us(export_times);
-        let (m_impact, m_fdd) = maintained_out.expect("at least one repeat");
+        let maintain_us = best_us(maintain_times);
+        let impact_local_us = best_us(local_times);
+        let export_fdd_us = best_us(export_times);
+        let post_edit_fdd_us = best_us(post_edit_times);
+        let impact_full_us = best_us(impact_full_times);
+        let (m_impact, m_fdd, m_stats) = maintained_out.expect("at least one repeat");
+
+        // Batched-maintained-vs-full agreement oracle: the coalesced
+        // sweep's exported diagram must decide every trace packet exactly
+        // as a fresh from-scratch rebuild of the post-edit policy (CI
+        // runs this in smoke mode for every batch size; a divergence
+        // fails the job before any timing is reported).
+        let fresh_fdd = Fdd::from_firewall_fast(&after)
+            .expect("post-edit policies are comprehensive")
+            .reduced();
+        for p in trace.packets() {
+            assert_eq!(
+                m_fdd.evaluate(p),
+                fresh_fdd.evaluate(p),
+                "{name}/k={k}: maintained FDD diverges from fresh rebuild at {p}"
+            );
+        }
 
         // The maintained impact must count exactly the packets the
         // of_edits analysis counts.
@@ -222,12 +251,12 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
         full_times.extend(time_repeats(mode.repeats - 1, || {
             std::hint::black_box(CompiledFdd::from_firewall(&after).expect("compiles"));
         }));
-        let full_us = median_us(full_times);
+        let full_us = best_us(full_times);
         let mut incremental_times = vec![incremental_first];
         incremental_times.extend(time_repeats(mode.repeats - 1, || {
             std::hint::black_box(base.recompile(&m_fdd, &m_impact).expect("splices"));
         }));
-        let incremental_us = median_us(incremental_times);
+        let incremental_us = best_us(incremental_times);
 
         let row = Row {
             workload: name.to_owned(),
@@ -249,15 +278,22 @@ fn bench_workload(rows: &mut Vec<Row>, mode: &Mode, name: &str, fw: &Firewall, s
             bytes_fresh: stats.bytes_fresh,
             lane_arena_rebuilt: stats.lane_arena_rebuilt,
             lane_arena_bytes: spliced.stats().lane_arena_bytes,
+            maintain: m_stats,
         };
         println!(
             "{name} k={k}: e2e full {:.0} µs | e2e maintained {:.0} µs (x{:.1}) | \
              maintain {maintain_us:.0} + diff {impact_local_us:.0} + export \
              {export_fdd_us:.0} + splice {incremental_us:.0} µs | \
+             plan {:?} corridors {} span {} prepends {} copied {} | \
              {}/{} nodes reused{}",
             row.e2e_full_us(),
             row.e2e_incremental_us(),
             row.e2e_full_us() / row.e2e_incremental_us(),
+            m_stats.plan,
+            m_stats.corridors,
+            m_stats.corridor_span,
+            m_stats.prepends,
+            m_stats.copied,
             stats.nodes_shared,
             stats.nodes,
             if stats.lane_arena_rebuilt {
@@ -279,7 +315,7 @@ fn main() {
         }
     } else {
         Mode {
-            repeats: 3,
+            repeats: 9,
             packets: 8_000,
         }
     };
@@ -328,6 +364,9 @@ fn main() {
              \"full_us\": {:.1}, \"incremental_us\": {:.1}, \"speedup\": {:.2}, \
              \"e2e_incremental_us\": {:.1}, \"e2e_full_us\": {:.1}, \
              \"e2e_speedup\": {:.2}, \
+             \"plan\": \"{:?}\", \"corridors\": {}, \"corridor_span\": {}, \
+             \"tail_shared\": {}, \"sweep_levels\": {}, \"prepends\": {}, \
+             \"copied\": {}, \
              \"nodes\": {}, \"nodes_shared\": {}, \"nodes_fresh\": {}, \
              \"bytes_shared\": {}, \"bytes_fresh\": {}, \"lane_arena_rebuilt\": {}, \
              \"lane_arena_bytes\": {}}}{sep}",
@@ -347,6 +386,13 @@ fn main() {
             r.e2e_incremental_us(),
             r.e2e_full_us(),
             r.e2e_full_us() / r.e2e_incremental_us(),
+            r.maintain.plan,
+            r.maintain.corridors,
+            r.maintain.corridor_span,
+            r.maintain.tail_shared,
+            r.maintain.sweep_levels,
+            r.maintain.prepends,
+            r.maintain.copied,
             r.nodes,
             r.nodes_shared,
             r.nodes_fresh,

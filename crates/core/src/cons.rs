@@ -30,12 +30,79 @@
 //! keeping only what a root set reaches and remaps the caller's roots.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use fw_model::{Decision, FieldId, IntervalSet, Schema};
 
 use crate::discrepancy::{coalesce, Discrepancy};
 use crate::fdd::{Edge, Fdd, Node};
 use crate::CoreError;
+
+/// A tiny multiply-xor hasher (the classic `FxHash` construction): every
+/// key on the arena's hot paths is a small integer or a flat integer
+/// vector, where the default hasher's per-call setup and byte-wise
+/// processing dominate the actual work of interning and memo lookups.
+/// Not DoS-resistant — fine for keys derived from policy structure.
+///
+/// Public (but doc-hidden) so sibling crates on the same hot paths — the
+/// splicer in `fw-exec` — can share it; not a semver surface.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A `HashMap` on [`FxHasher`] — the arena-internal map type.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// A canonical node id in a [`ConsArena`]. Two ids from the same arena are
 /// equal iff their subdiagrams compute the same function.
@@ -46,6 +113,27 @@ impl ConsId {
     fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw table index — for packing into flat cache keys.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An interned edge label: an index into the arena's label store. Labels
+/// are hash-consed like nodes — equal id ⟺ equal set — so edge vectors
+/// hash and compare as flat `u32` pairs, and an edge carried over from an
+/// existing node costs a 4-byte copy instead of an interval-vector clone.
+pub(crate) type LabelId = u32;
+
+/// An edge label on its way into [`ConsArena::internal_parts`]: either an
+/// id copied verbatim from an existing edge (the bulk of what a prepend
+/// sweep re-interns — no allocation, no content hash) or a set fresh from
+/// an edge split.
+#[derive(Debug, Clone)]
+pub(crate) enum Lbl {
+    Id(LabelId),
+    Set(IntervalSet),
 }
 
 /// One canonical node: a terminal (with `None` as the unmatched sentinel)
@@ -56,24 +144,37 @@ enum ConsNode {
     Terminal(Option<Decision>),
     Internal {
         field: FieldId,
-        edges: Vec<(IntervalSet, ConsId)>,
+        edges: Vec<(LabelId, ConsId)>,
     },
 }
 
-/// Structural signature for interning. Labels are flattened to their
-/// interval runs so the hash walks no nested allocations.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Sig {
-    Terminal(Option<Decision>),
-    Internal(FieldId, Vec<((u64, u64), ConsId)>),
-}
-
-/// The canonical node table (see module docs).
+/// The canonical node table (see module docs). Nodes and labels intern
+/// through content hashes (hash → id) instead of maps keyed by deep
+/// signatures, so probing the table never materialises a flattened key —
+/// the dominant cost of interning at suffix-sweep rates. A 64-bit content
+/// hash collides essentially never, so each table maps a hash to a single
+/// id and banishes genuine collisions to a (normally empty) spill list
+/// scanned on a probe mismatch — no per-entry bucket vector to allocate.
 #[derive(Debug, Clone)]
 pub struct ConsArena {
     schema: Schema,
     nodes: Vec<ConsNode>,
-    table: HashMap<Sig, ConsId>,
+    table: FxMap<u64, ConsId>,
+    /// Nodes whose content hash collided with an earlier, different node.
+    table_spill: Vec<ConsId>,
+    labels: Vec<IntervalSet>,
+    /// `(min, max)` of each label, packed — the prepend window test and
+    /// the canonical edge sort read only these, not the interval vectors.
+    label_meta: Vec<(u64, u64)>,
+    label_table: FxMap<u64, LabelId>,
+    /// Labels whose content hash collided with an earlier, different label.
+    label_spill: Vec<LabelId>,
+    /// Reusable merge buffer for [`internal_parts`](Self::internal_parts)
+    /// (not reentrant, which interning is not).
+    scratch_per_child: Vec<(ConsId, Lbl)>,
+    /// Reusable canonical-edge buffer: probed in place, cloned into the
+    /// node store only on an actual miss.
+    scratch_edges: Vec<(LabelId, ConsId)>,
 }
 
 impl ConsArena {
@@ -82,7 +183,14 @@ impl ConsArena {
         ConsArena {
             schema,
             nodes: Vec::new(),
-            table: HashMap::new(),
+            table: FxMap::default(),
+            table_spill: Vec::new(),
+            labels: Vec::new(),
+            label_meta: Vec::new(),
+            label_table: FxMap::default(),
+            label_spill: Vec::new(),
+            scratch_per_child: Vec::new(),
+            scratch_edges: Vec::new(),
         }
     }
 
@@ -101,6 +209,13 @@ impl ConsArena {
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Pre-sizes the node store and intern table for about `extra` more
+    /// nodes, so a batch of interns doesn't rehash the table mid-flight.
+    pub(crate) fn reserve(&mut self, extra: usize) {
+        self.nodes.reserve(extra);
+        self.table.reserve(extra);
     }
 
     /// The rank of a node: its field index, or the schema length for
@@ -123,7 +238,95 @@ impl ConsArena {
 
     /// Interns the terminal for `decision` (`None` = unmatched sentinel).
     pub fn terminal(&mut self, decision: Option<Decision>) -> ConsId {
-        self.intern(Sig::Terminal(decision), || ConsNode::Terminal(decision))
+        use std::hash::{Hash, Hasher};
+        let mut hasher = FxHasher::default();
+        // A tag outside the field-index range keeps terminal hashes off the
+        // internal-node buckets (collisions would only cost a compare).
+        hasher.write_u64(u64::MAX);
+        decision.hash(&mut hasher);
+        let h = hasher.finish();
+        match self.table.get(&h) {
+            Some(&id) if self.nodes[id.index()] == ConsNode::Terminal(decision) => return id,
+            Some(_) => {
+                for &id in &self.table_spill {
+                    if self.nodes[id.index()] == ConsNode::Terminal(decision) {
+                        return id;
+                    }
+                }
+            }
+            None => {}
+        }
+        let id = ConsId(u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices"));
+        self.nodes.push(ConsNode::Terminal(decision));
+        match self.table.entry(h) {
+            std::collections::hash_map::Entry::Occupied(_) => self.table_spill.push(id),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+        }
+        id
+    }
+
+    /// The set behind an interned label id.
+    pub(crate) fn label(&self, id: LabelId) -> &IntervalSet {
+        &self.labels[id as usize]
+    }
+
+    /// The `(min, max)` window of an interned label — one packed load, no
+    /// interval-vector access.
+    pub(crate) fn label_window(&self, id: LabelId) -> (u64, u64) {
+        self.label_meta[id as usize]
+    }
+
+    /// Interns `set` into the label store: equal sets get equal ids, so
+    /// edges hash and compare by id alone.
+    fn intern_label(&mut self, set: IntervalSet) -> LabelId {
+        use std::hash::Hasher;
+        let mut hasher = FxHasher::default();
+        for iv in set.iter() {
+            hasher.write_u64(iv.lo());
+            hasher.write_u64(iv.hi());
+        }
+        let h = hasher.finish();
+        let ConsArena {
+            labels,
+            label_meta,
+            label_table,
+            label_spill,
+            ..
+        } = self;
+        let spilled = match label_table.entry(h) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let lid = *e.get();
+                if labels[lid as usize] == set {
+                    return lid;
+                }
+                if let Some(&lid) = label_spill.iter().find(|&&l| labels[l as usize] == set) {
+                    return lid;
+                }
+                true
+            }
+            std::collections::hash_map::Entry::Vacant(_) => false,
+        };
+        let lid = LabelId::try_from(labels.len()).expect("label store exceeds u32 indices");
+        label_meta.push((
+            set.min_value().expect("labels are nonempty"),
+            set.max_value().expect("labels are nonempty"),
+        ));
+        labels.push(set);
+        if spilled {
+            label_spill.push(lid);
+        } else {
+            label_table.insert(h, lid);
+        }
+        lid
+    }
+
+    fn lbl_set<'a>(&'a self, l: &'a Lbl) -> &'a IntervalSet {
+        match l {
+            Lbl::Id(id) => &self.labels[*id as usize],
+            Lbl::Set(s) => s,
+        }
     }
 
     /// Interns an internal node at `field` from `(child, label)` parts,
@@ -132,78 +335,135 @@ impl ConsArena {
     /// domain is elided to its child. The parts' labels must be pairwise
     /// disjoint and jointly cover the field's domain.
     pub fn internal(&mut self, field: FieldId, parts: Vec<(ConsId, IntervalSet)>) -> ConsId {
-        let mut per_child: Vec<(ConsId, IntervalSet)> = Vec::with_capacity(parts.len());
-        // Index into `per_child` by child id: nodes near the chain root can
-        // carry hundreds of distinct children, and a linear scan here turns
-        // every re-intern during suffix maintenance quadratic.
-        let mut slot: HashMap<ConsId, usize> = HashMap::with_capacity(parts.len());
-        for (child, label) in parts {
-            debug_assert!(!label.is_empty(), "empty edge label");
-            debug_assert!(self.rank(child) > field.index(), "child rank out of order");
-            match slot.entry(child) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let set = &mut per_child[*e.get()].1;
-                    *set = set.union(&label);
+        let mut parts: Vec<(ConsId, Lbl)> =
+            parts.into_iter().map(|(c, s)| (c, Lbl::Set(s))).collect();
+        self.internal_parts(field, &mut parts)
+    }
+
+    /// [`internal`](Self::internal) over [`Lbl`] parts — the prepend hot
+    /// path hands labels carried over from existing edges back as ids, so
+    /// the unchanged bulk of a node costs neither a clone nor a re-hash.
+    /// Drains `parts`, leaving the buffer empty for the caller to reuse.
+    pub(crate) fn internal_parts(
+        &mut self,
+        field: FieldId,
+        parts: &mut Vec<(ConsId, Lbl)>,
+    ) -> ConsId {
+        let mut per_child = std::mem::take(&mut self.scratch_per_child);
+        per_child.clear();
+        if parts.len() <= 8 {
+            // Small nodes — the bulk of what a prepend sweep re-interns
+            // below the chain roots — merge by linear scan; a HashMap here
+            // costs more to build than the merges it saves.
+            for (child, label) in parts.drain(..) {
+                debug_assert!(!self.lbl_set(&label).is_empty(), "empty edge label");
+                debug_assert!(self.rank(child) > field.index(), "child rank out of order");
+                match per_child.iter_mut().find(|(c, _)| *c == child) {
+                    Some((_, existing)) => {
+                        *existing = Lbl::Set(self.lbl_set(&*existing).union(self.lbl_set(&label)));
+                    }
+                    None => per_child.push((child, label)),
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(per_child.len());
-                    per_child.push((child, label));
+            }
+        } else {
+            // Index into `per_child` by child id: a wide node would turn
+            // the linear merge scan quadratic.
+            let mut slot: FxMap<ConsId, usize> =
+                FxMap::with_capacity_and_hasher(parts.len(), BuildHasherDefault::default());
+            for (child, label) in parts.drain(..) {
+                debug_assert!(!self.lbl_set(&label).is_empty(), "empty edge label");
+                debug_assert!(self.rank(child) > field.index(), "child rank out of order");
+                match slot.entry(child) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let existing = &mut per_child[*e.get()].1;
+                        *existing = Lbl::Set(self.lbl_set(&*existing).union(self.lbl_set(&label)));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(per_child.len());
+                        per_child.push((child, label));
+                    }
                 }
             }
         }
         debug_assert_eq!(
             per_child
                 .iter()
-                .fold(0u128, |n, (_, set)| n.saturating_add(set.count())),
+                .fold(0u128, |n, (_, l)| n.saturating_add(self.lbl_set(l).count())),
             self.schema.field(field).domain().count(),
             "edge labels must partition the domain of {field:?}"
         );
         if per_child.len() == 1 {
-            return per_child.pop().expect("len checked").0;
+            let r = per_child.pop().expect("len checked").0;
+            self.scratch_per_child = per_child;
+            return r;
         }
-        per_child.sort_by_key(|(_, set)| set.min_value());
-        let mut sig_edges: Vec<((u64, u64), ConsId)> = Vec::new();
-        for (child, set) in &per_child {
-            for iv in set.iter() {
-                sig_edges.push(((iv.lo(), iv.hi()), *child));
+        let mut edges = std::mem::take(&mut self.scratch_edges);
+        edges.clear();
+        for (c, l) in per_child.drain(..) {
+            let lid = match l {
+                Lbl::Id(id) => id,
+                Lbl::Set(s) => self.intern_label(s),
+            };
+            edges.push((lid, c));
+        }
+        self.scratch_per_child = per_child;
+        // Disjoint labels have distinct least values, so this order is
+        // canonical for the function.
+        let label_meta = &self.label_meta;
+        edges.sort_unstable_by_key(|(l, _)| label_meta[*l as usize].0);
+        use std::hash::Hasher;
+        let mut hasher = FxHasher::default();
+        hasher.write_usize(field.index());
+        for (l, c) in &edges {
+            hasher.write_u32(*l);
+            hasher.write_u32(c.0);
+        }
+        let h = hasher.finish();
+        let ConsArena {
+            nodes,
+            table,
+            table_spill,
+            ..
+        } = self;
+        let is_same = |id: ConsId| {
+            matches!(&nodes[id.index()],
+                ConsNode::Internal { field: f2, edges: e2 } if *f2 == field && *e2 == edges)
+        };
+        let (mut found, spilled) = match table.entry(h) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let id = *e.get();
+                if is_same(id) {
+                    (Some(id), true)
+                } else {
+                    (table_spill.iter().copied().find(|&s| is_same(s)), true)
+                }
             }
+            std::collections::hash_map::Entry::Vacant(_) => (None, false),
+        };
+        if found.is_none() {
+            let id = ConsId(u32::try_from(nodes.len()).expect("arena exceeds u32 indices"));
+            // The clone sizes the stored vector exactly; the probe buffer
+            // keeps its capacity for the next intern.
+            nodes.push(ConsNode::Internal {
+                field,
+                edges: edges.clone(),
+            });
+            if spilled {
+                table_spill.push(id);
+            } else {
+                table.insert(h, id);
+            }
+            found = Some(id);
         }
-        sig_edges.sort_unstable();
-        self.intern(Sig::Internal(field, sig_edges), || ConsNode::Internal {
-            field,
-            edges: per_child.into_iter().map(|(c, s)| (s, c)).collect(),
-        })
-    }
-
-    fn intern(&mut self, sig: Sig, node: impl FnOnce() -> ConsNode) -> ConsId {
-        if let Some(&id) = self.table.get(&sig) {
-            return id;
-        }
-        let id = ConsId(u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices"));
-        self.nodes.push(node());
-        self.table.insert(sig, id);
-        id
-    }
-
-    /// The children of `id` as seen from `field`: the node's own edges when
-    /// it tests exactly `field`, otherwise one virtual full-domain edge back
-    /// to `id` (the node is constant on `field` — it tests a later field or
-    /// is a terminal). Callers must have `rank(id) >= field.index()`.
-    pub(crate) fn children_at(&self, id: ConsId, field: FieldId) -> Vec<(IntervalSet, ConsId)> {
-        debug_assert!(self.rank(id) >= field.index(), "rank out of order");
-        match &self.nodes[id.index()] {
-            ConsNode::Internal { field: f, edges } if *f == field => edges.clone(),
-            _ => vec![(
-                IntervalSet::from_interval(self.schema.field(field).domain()),
-                id,
-            )],
-        }
+        edges.clear();
+        self.scratch_edges = edges;
+        found.expect("probe or insert produced an id")
     }
 
     /// Borrowing view of an internal node's test field and edges (`None`
     /// for terminals) — the allocation-free form the prepend hot path
-    /// reads.
-    pub(crate) fn edges(&self, id: ConsId) -> Option<(FieldId, &[(IntervalSet, ConsId)])> {
+    /// reads; resolve labels through [`label`](Self::label).
+    pub(crate) fn edges(&self, id: ConsId) -> Option<(FieldId, &[(LabelId, ConsId)])> {
         match &self.nodes[id.index()] {
             ConsNode::Terminal(_) => None,
             ConsNode::Internal { field, edges } => Some((*field, edges.as_slice())),
@@ -268,8 +528,10 @@ impl ConsArena {
             }),
             ConsNode::Terminal(Some(_)) => None,
             ConsNode::Internal { field, edges } => {
-                for (set, child) in edges {
-                    let v = set.min_value().expect("nonempty label");
+                for (lid, child) in edges {
+                    let v = self.labels[*lid as usize]
+                        .min_value()
+                        .expect("nonempty label");
                     path.push((*field, v));
                     if let Some(w) = self.witness_rec(*child, seen, path) {
                         return Some(w);
@@ -294,7 +556,7 @@ impl ConsArena {
             return Err(CoreError::NotComprehensive { witness });
         }
         let mut fdd = Fdd::empty(self.schema.clone());
-        let mut map: HashMap<ConsId, crate::fdd::NodeId> = HashMap::new();
+        let mut map: FxMap<ConsId, crate::fdd::NodeId> = FxMap::default();
         let new_root = self.export_rec(root, &mut fdd, &mut map);
         fdd.set_root(new_root);
         debug_assert!(fdd.validate().is_ok());
@@ -307,7 +569,7 @@ impl ConsArena {
         &self,
         id: ConsId,
         fdd: &mut Fdd,
-        map: &mut HashMap<ConsId, crate::fdd::NodeId>,
+        map: &mut FxMap<ConsId, crate::fdd::NodeId>,
     ) -> crate::fdd::NodeId {
         if let Some(&n) = map.get(&id) {
             return n;
@@ -319,8 +581,8 @@ impl ConsArena {
             ConsNode::Internal { field, edges } => {
                 let lowered: Vec<Edge> = edges
                     .iter()
-                    .map(|(label, child)| Edge {
-                        label: label.clone(),
+                    .map(|(lid, child)| Edge {
+                        label: self.labels[*lid as usize].clone(),
                         target: self.export_rec(*child, fdd, map),
                     })
                     .collect();
@@ -340,7 +602,7 @@ impl ConsArena {
     /// the append-only guarantee, so it is explicit.
     pub fn compact(&mut self, roots: &mut [ConsId]) {
         let mut fresh = ConsArena::new(self.schema.clone());
-        let mut map: HashMap<ConsId, ConsId> = HashMap::new();
+        let mut map: FxMap<ConsId, ConsId> = FxMap::default();
         for r in roots.iter_mut() {
             *r = self.compact_rec(*r, &mut fresh, &mut map);
         }
@@ -351,7 +613,7 @@ impl ConsArena {
         &self,
         id: ConsId,
         fresh: &mut ConsArena,
-        map: &mut HashMap<ConsId, ConsId>,
+        map: &mut FxMap<ConsId, ConsId>,
     ) -> ConsId {
         if let Some(&n) = map.get(&id) {
             return n;
@@ -361,7 +623,12 @@ impl ConsArena {
             ConsNode::Internal { field, edges } => {
                 let parts = edges
                     .iter()
-                    .map(|(label, child)| (self.compact_rec(*child, fresh, map), label.clone()))
+                    .map(|(lid, child)| {
+                        (
+                            self.compact_rec(*child, fresh, map),
+                            self.labels[*lid as usize].clone(),
+                        )
+                    })
                     .collect();
                 fresh.internal(*field, parts)
             }
@@ -386,7 +653,7 @@ impl ConsArena {
     pub fn diff(&self, a: ConsId, b: ConsId) -> Result<Vec<Discrepancy>, CoreError> {
         let mut d = Differ {
             arena: self,
-            memo: HashMap::new(),
+            memo: FxMap::default(),
             nodes: Vec::new(),
         };
         let root = d.pair(a, b)?;
@@ -417,12 +684,21 @@ enum DiffNode {
 
 struct Differ<'a> {
     arena: &'a ConsArena,
-    memo: HashMap<(ConsId, ConsId), usize>,
+    memo: FxMap<(ConsId, ConsId), usize>,
     nodes: Vec<DiffNode>,
 }
 
 /// The interned index of the shared `Same` node (pushed first).
 const SAME: usize = 0;
+
+/// Adds `cell → child` to a diff node's edge list, unioning cells that
+/// reach the same child so regions come out coalesced per child.
+fn record(edges: &mut Vec<(IntervalSet, usize)>, cell: IntervalSet, child: usize) {
+    match edges.iter_mut().find(|(_, c)| *c == child) {
+        Some((set, _)) => *set = set.union(&cell),
+        None => edges.push((cell, child)),
+    }
+}
 
 impl Differ<'_> {
     fn push(&mut self, n: DiffNode) -> usize {
@@ -457,23 +733,64 @@ impl Differ<'_> {
             }
         } else {
             let field = FieldId(ra.min(rb));
-            let ea = self.arena.children_at(a, field);
-            let eb = self.arena.children_at(b, field);
+            // Read the interned edges in place; a node ranked deeper than
+            // `field` acts as a single full-domain edge back to itself, so
+            // its cells are the other side's labels verbatim.
+            let arena = self.arena;
+            let ea = (ra == field.index()).then(|| arena.edges(a).expect("rank is internal").1);
+            let eb = (rb == field.index()).then(|| arena.edges(b).expect("rank is internal").1);
             let mut edges: Vec<(IntervalSet, usize)> = Vec::new();
             let mut all_same = true;
-            for (la, ca) in &ea {
-                for (lb, cb) in &eb {
-                    let cell = la.intersect(lb);
-                    if cell.is_empty() {
-                        continue;
-                    }
-                    let child = self.pair(*ca, *cb)?;
-                    all_same &= child == SAME;
-                    match edges.iter_mut().find(|(_, c)| *c == child) {
-                        Some((set, _)) => *set = set.union(&cell),
-                        None => edges.push((cell, child)),
+            match (ea, eb) {
+                (Some(ea), Some(eb)) => {
+                    for &(la, ca) in ea {
+                        let (alo, ahi) = arena.label_window(la);
+                        for &(lb, cb) in eb {
+                            // Equal interned ids are equal (non-empty)
+                            // sets — the usual case when both roots share
+                            // an arena — and the packed windows rule out
+                            // most of the rest without touching a set.
+                            let cell = if la == lb {
+                                None
+                            } else {
+                                let (blo, bhi) = arena.label_window(lb);
+                                if bhi < alo || ahi < blo {
+                                    continue;
+                                }
+                                let cell = arena.label(la).intersect(arena.label(lb));
+                                if cell.is_empty() {
+                                    continue;
+                                }
+                                Some(cell)
+                            };
+                            let child = self.pair(ca, cb)?;
+                            all_same &= child == SAME;
+                            if child != SAME {
+                                let cell = cell.unwrap_or_else(|| arena.label(la).clone());
+                                record(&mut edges, cell, child);
+                            }
+                        }
                     }
                 }
+                (Some(ea), None) => {
+                    for &(la, ca) in ea {
+                        let child = self.pair(ca, b)?;
+                        all_same &= child == SAME;
+                        if child != SAME {
+                            record(&mut edges, arena.label(la).clone(), child);
+                        }
+                    }
+                }
+                (None, Some(eb)) => {
+                    for &(lb, cb) in eb {
+                        let child = self.pair(a, cb)?;
+                        all_same &= child == SAME;
+                        if child != SAME {
+                            record(&mut edges, arena.label(lb).clone(), child);
+                        }
+                    }
+                }
+                (None, None) => unreachable!("min rank is internal at `field`"),
             }
             if all_same {
                 // Different structure, same function on every cell — fold

@@ -151,6 +151,10 @@ pub fn coalesce_multi(ds: Vec<MultiDiscrepancy>) -> Vec<MultiDiscrepancy> {
 /// each group collapses into one item whose chosen field is the union of
 /// the group's sets. Items are disjoint boxes, so the collapse is an exact
 /// rewrite. Passes repeat until a full round merges nothing.
+///
+/// Grouping buckets on a content hash of the key — no set is cloned to
+/// build a bucket — and verifies real equality inside each bucket, so a
+/// hash collision can never merge regions that differ.
 fn coalesce_by<T, Key, K, FM, FR>(mut ds: Vec<T>, key: K, pred_mut: FM, pred_ref: FR) -> Vec<T>
 where
     Key: std::hash::Hash + Eq,
@@ -158,7 +162,7 @@ where
     FM: Fn(&mut T) -> &mut Predicate + Copy,
     FR: Fn(&T) -> &Predicate + Copy,
 {
-    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
     if ds.len() < 2 {
         return ds;
     }
@@ -167,37 +171,70 @@ where
         let mut merged_any = false;
         for field in 0..arity {
             let id = fw_model::FieldId(field);
-            let mut groups: HashMap<(Key, Vec<IntervalSet>), Vec<T>> = HashMap::new();
-            for d in ds.drain(..) {
-                let others: Vec<IntervalSet> = (0..arity)
-                    .filter(|&i| i != field)
-                    .map(|i| pred_ref(&d).set(fw_model::FieldId(i)).clone())
-                    .collect();
-                groups.entry((key(&d), others)).or_default().push(d);
+            let mut buckets: crate::cons::FxMap<u64, Vec<usize>> = Default::default();
+            for (i, d) in ds.iter().enumerate() {
+                let mut h = crate::cons::FxHasher::default();
+                key(d).hash(&mut h);
+                for f in (0..arity).filter(|&f| f != field) {
+                    pred_ref(d).set(fw_model::FieldId(f)).hash(&mut h);
+                }
+                buckets.entry(h.finish()).or_default().push(i);
             }
-            ds = groups
-                .into_values()
-                .map(|mut group| {
-                    if group.len() > 1 {
+            let mut dead = vec![false; ds.len()];
+            let mut merges: Vec<(usize, IntervalSet)> = Vec::new();
+            {
+                let same = |a: usize, b: usize| {
+                    key(&ds[a]) == key(&ds[b])
+                        && (0..arity).filter(|&f| f != field).all(|f| {
+                            let fid = fw_model::FieldId(f);
+                            pred_ref(&ds[a]).set(fid) == pred_ref(&ds[b]).set(fid)
+                        })
+                };
+                for bucket in buckets.into_values() {
+                    if bucket.len() < 2 {
+                        continue;
+                    }
+                    let mut groups: Vec<Vec<usize>> = Vec::new();
+                    'place: for &i in &bucket {
+                        for g in groups.iter_mut() {
+                            if same(g[0], i) {
+                                g.push(i);
+                                continue 'place;
+                            }
+                        }
+                        groups.push(vec![i]);
+                    }
+                    for g in groups {
+                        if g.len() < 2 {
+                            continue;
+                        }
                         merged_any = true;
-                        let union = group
+                        let union = g
                             .iter()
-                            .map(|d| pred_ref(d).set(id).clone())
+                            .map(|&i| pred_ref(&ds[i]).set(id).clone())
                             .reduce(|a, b| a.union(&b))
                             .expect("group is non-empty");
-                        let mut first = group.swap_remove(0);
-                        *pred_mut(&mut first) = pred_ref(&first)
-                            .with_field(id, union)
-                            .expect("union of non-empty sets is non-empty");
-                        first
-                    } else {
-                        group.pop().expect("group is non-empty")
+                        merges.push((g[0], union));
+                        for &i in &g[1..] {
+                            dead[i] = true;
+                        }
                     }
-                })
-                .collect();
+                }
+            }
+            for (i, union) in merges {
+                *pred_mut(&mut ds[i]) = pred_ref(&ds[i])
+                    .with_field(id, union)
+                    .expect("union of non-empty sets is non-empty");
+            }
+            let mut at = 0;
+            ds.retain(|_| {
+                at += 1;
+                !dead[at - 1]
+            });
         }
         if !merged_any {
-            // Hash grouping shuffles order; emit rows deterministically.
+            // Bucket draining shuffles nothing, but keep the historical
+            // deterministic order for emitted rows.
             ds.sort_by(|a, b| pred_ref(a).sets().cmp(pred_ref(b).sets()));
             return ds;
         }

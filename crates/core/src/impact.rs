@@ -127,10 +127,12 @@ impl ChangeImpact {
         })
     }
 
-    /// Applies `edits` in order to `before` (in place on one working
-    /// copy) and returns the modified policy together with the exact
-    /// impact of the whole batch, computed over a shared hash-consed
-    /// arena so only the edited corridor is walked.
+    /// Applies `edits` in order to `before` and returns the modified
+    /// policy together with the exact impact of the whole batch: one
+    /// suffix-chain build of `before` in a hash-consed arena, then the
+    /// coalesced batch sweep and a short-circuit root diff — so the
+    /// after-policy costs one warm sweep over the edited corridors, not a
+    /// second construction.
     ///
     /// # Errors
     ///
@@ -139,12 +141,7 @@ impl ChangeImpact {
         before: &Firewall,
         edits: &[Edit],
     ) -> Result<(Firewall, ChangeImpact), CoreError> {
-        let mut after = before.clone();
-        for e in edits {
-            e.apply_in_place(&mut after)?;
-        }
-        let impact = crate::maintain::edit_path_impact(before, &after)?;
-        Ok((after, impact))
+        crate::maintain::edit_batch_impact(before, edits)
     }
 
     /// Wraps an already computed discrepancy set (the maintenance layer's

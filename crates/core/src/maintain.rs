@@ -19,24 +19,178 @@
 //! rebuilt-but-unchanged suffixes to their old ids, which lets the
 //! recomputation stop early the moment a suffix comes back unchanged.
 //!
+//! A batch of edits is applied **coalesced**: the whole batch is
+//! simulated over the rule metadata first (an alignment map records where
+//! each post-batch position's rule content lived before the batch, memos
+//! and a dirty mark travelling along), and then the chain is recomputed in
+//! **one** upward sweep instead of once per edit. The sweep copies a
+//! position's old suffix id verbatim — O(1) — whenever its rule content is
+//! untouched and its tail just re-interned to the old tail's id; only the
+//! edited corridors and the levels whose function genuinely changed pay
+//! for a `prepend`, and those resolve mostly from the travelling memos.
+//! A [`BatchPlan`] crossover falls back to a plain full rebuild (fresh
+//! memos, same arena) for pathological batches that replace most of the
+//! policy, so the coalesced bookkeeping can never lose to the §3
+//! construction it shortcuts. [`MaintainStats`] reports which plan ran and
+//! the corridor geometry.
+//!
 //! The change's impact is computed the same local way:
 //! [`ConsArena::diff`] short-circuits on shared ids, so
 //! [`MaintainedFdd::apply_edits`] returns the exact [`ChangeImpact`]
 //! after touching only the changed corridor — microseconds where
 //! [`ChangeImpact::between`] re-derives both diagrams from scratch.
 
-use std::collections::HashMap;
-
 use fw_model::{FieldId, Firewall, Rule};
+use serde::{Deserialize, Serialize};
 
-use crate::cons::{ConsArena, ConsId};
+use crate::cons::{ConsArena, ConsId, Lbl};
 use crate::impact::{ChangeImpact, Edit};
 use crate::CoreError;
 
-/// Per-rule prepend cache: `(field, tail node)` → prepended result. Valid
-/// for the life of the arena (it is append-only) and for this rule's
+/// Per-rule prepend cache: `field << 32 | tail node` → prepended result.
+/// Valid for the life of the arena (it is append-only) and for this rule's
 /// content wherever the rule moves; cleared when the arena is compacted.
-type PrependMemo = HashMap<(usize, ConsId), ConsId>;
+type PrependMemo = crate::cons::FxMap<u64, ConsId>;
+
+/// How a batch was applied to the suffix chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPlan {
+    /// One upward sweep over the coalesced batch: a position whose rule
+    /// content is untouched copies its old suffix id in O(1) the moment
+    /// its tail re-interns to the old tail id; everything else
+    /// re-prepends through the memos that travelled with the rules.
+    Coalesced,
+    /// The chain is rebuilt from the sentinel with fresh memos, in the
+    /// same arena (old ids stay diffable) — the bounded fallback for
+    /// batches that dirty most of the policy, where alignment bookkeeping
+    /// is pure overhead and stale memos only cost memory.
+    FullRebuild,
+}
+
+impl BatchPlan {
+    /// The measured crossover (DESIGN.md §12): the coalesced sweep wins
+    /// while most positions keep their alignment — memo hits and O(1)
+    /// copies do the work — and only loses its bookkeeping margin once an
+    /// edit batch has dirtied the majority of a policy's positions, which
+    /// takes a batch at least rebuild-sized in practice.
+    fn choose(edits: usize, changed_positions: usize, len: usize) -> BatchPlan {
+        if edits >= 8 && 2 * changed_positions >= len {
+            BatchPlan::FullRebuild
+        } else {
+            BatchPlan::Coalesced
+        }
+    }
+}
+
+/// What one batch application did to the chain — the coalesced sweep's
+/// receipt, surfaced through [`MaintainedFdd::apply_edits_with_stats`]
+/// and downstream reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintainStats {
+    /// Which arm applied the batch.
+    pub plan: BatchPlan,
+    /// Edits in the batch as given.
+    pub edits: usize,
+    /// Post-batch positions whose rule content or static tail shape the
+    /// batch dirtied (insert/remove scars, replaced or swapped rules).
+    pub changed_positions: usize,
+    /// Maximal runs of contiguous dirty positions the batch coalesced to.
+    pub corridors: usize,
+    /// Positions spanned from the first dirty position to the last
+    /// (0 when the batch dirtied nothing).
+    pub corridor_span: usize,
+    /// Rules of the content-equal policy tail whose suffix ids were
+    /// carried over verbatim without entering the sweep.
+    pub tail_shared: usize,
+    /// Chain levels the upward sweep visited (policy length minus the
+    /// shared tail).
+    pub sweep_levels: usize,
+    /// Sweep levels that paid for a real `prepend`.
+    pub prepends: usize,
+    /// Sweep levels resolved by an O(1) old-suffix-id copy.
+    pub copied: usize,
+}
+
+/// Lockstep simulation of an edit batch over the metadata that travels
+/// with the chain: the staged policy, each position's provenance in the
+/// pre-batch rule list (kept only while the rule content is untouched),
+/// the per-rule prepend memos, and a static dirty mark per position used
+/// for corridor accounting and the [`BatchPlan`] crossover.
+struct BatchSim {
+    work: Firewall,
+    /// `aligned[i] = Some(o)`: the rule now at `i` is, content-identical,
+    /// the pre-batch rule `o` — so `prepend` over the pre-batch tail of
+    /// `o` would reproduce `suffix[o]` exactly.
+    aligned: Vec<Option<usize>>,
+    memos: Vec<PrependMemo>,
+    /// `scar[i]`: the batch dirtied position `i` statically (new or
+    /// replaced content, a swap, or the seam left by a removal below).
+    scar: Vec<bool>,
+}
+
+impl BatchSim {
+    /// Replays pre-validated `edits` over the metadata; panics on an
+    /// invalid edit (callers validate on a staged policy first).
+    fn run(fw: &Firewall, memos: Vec<PrependMemo>, edits: &[Edit]) -> BatchSim {
+        let mut s = BatchSim {
+            work: fw.clone(),
+            aligned: (0..fw.len()).map(Some).collect(),
+            memos,
+            scar: vec![false; fw.len()],
+        };
+        for e in edits {
+            match e {
+                Edit::Insert { index, rule } => {
+                    s.work
+                        .insert_rule(*index, rule.clone())
+                        .expect("edits validated on the staged policy");
+                    s.aligned.insert(*index, None);
+                    s.memos.insert(*index, PrependMemo::default());
+                    s.scar.insert(*index, true);
+                }
+                Edit::Remove { index } => {
+                    s.work
+                        .remove_rule(*index)
+                        .expect("edits validated on the staged policy");
+                    s.aligned.remove(*index);
+                    s.memos.remove(*index);
+                    s.scar.remove(*index);
+                    // The rule just above the seam keeps its content but
+                    // loses a rule from its tail.
+                    if *index > 0 {
+                        s.scar[*index - 1] = true;
+                    }
+                }
+                Edit::Replace { index, rule } => {
+                    if &s.work.rules()[*index] == rule {
+                        // Self-replacement: content untouched, alignment
+                        // and memo survive, nothing dirtied.
+                        continue;
+                    }
+                    s.work
+                        .replace_rule(*index, rule.clone())
+                        .expect("edits validated on the staged policy");
+                    s.aligned[*index] = None;
+                    s.memos[*index] = PrependMemo::default();
+                    s.scar[*index] = true;
+                }
+                Edit::Swap { first, second } => {
+                    s.work
+                        .swap_rules(*first, *second)
+                        .expect("edits validated on the staged policy");
+                    if first == second {
+                        continue;
+                    }
+                    s.aligned.swap(*first, *second);
+                    s.memos.swap(*first, *second);
+                    s.scar[*first] = true;
+                    s.scar[*second] = true;
+                }
+            }
+        }
+        s
+    }
+}
 
 /// A firewall with its FDD kept incrementally up to date (see module
 /// docs).
@@ -85,14 +239,21 @@ impl MaintainedFdd {
             memos: firewall
                 .rules()
                 .iter()
-                .map(|_| PrependMemo::new())
+                .map(|_| PrependMemo::default())
                 .collect(),
             firewall,
         };
         let mut chain = vec![m.arena.terminal(None)];
+        let mut scratch = PrependScratch::for_fields(m.arena.schema().len());
         for i in (0..m.firewall.len()).rev() {
             let tail = *chain.last().expect("chain is nonempty");
-            let next = prepend(&mut m.arena, &m.firewall.rules()[i], &mut m.memos[i], tail);
+            let next = prepend(
+                &mut m.arena,
+                &m.firewall.rules()[i],
+                &mut m.memos[i],
+                tail,
+                &mut scratch,
+            );
             chain.push(next);
         }
         chain.reverse();
@@ -138,9 +299,9 @@ impl MaintainedFdd {
         self.arena.to_fdd(self.root())
     }
 
-    /// Patches the suffix chain and policy under `edits`, in order,
-    /// without computing the impact. On error the maintained state is
-    /// unchanged.
+    /// Patches the suffix chain and policy under `edits`, applied as one
+    /// coalesced batch (one upward sweep, see [`MaintainStats`]), without
+    /// computing the impact. On error the maintained state is unchanged.
     ///
     /// # Errors
     ///
@@ -148,112 +309,155 @@ impl MaintainedFdd {
     /// [`CoreError::NotComprehensive`] if the edited policy no longer
     /// decides every packet.
     pub fn apply(&mut self, edits: &[Edit]) -> Result<(), CoreError> {
+        self.apply_with_stats(edits).map(|_| ())
+    }
+
+    /// [`apply`](Self::apply), also reporting which [`BatchPlan`] ran and
+    /// the batch's corridor geometry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_with_stats(&mut self, edits: &[Edit]) -> Result<MaintainStats, CoreError> {
+        self.apply_batch(edits, None)
+    }
+
+    /// [`apply_with_stats`](Self::apply_with_stats) with the plan forced
+    /// instead of chosen by the crossover heuristic. Both arms produce the
+    /// same diagram (hash-consing makes them intern to the same root); the
+    /// forced form exists so equivalence suites can prove exactly that.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_planned(
+        &mut self,
+        edits: &[Edit],
+        plan: BatchPlan,
+    ) -> Result<MaintainStats, CoreError> {
+        self.apply_batch(edits, Some(plan))
+    }
+
+    fn apply_batch(
+        &mut self,
+        edits: &[Edit],
+        forced: Option<BatchPlan>,
+    ) -> Result<MaintainStats, CoreError> {
         // Stage the policy first: all index arithmetic is validated on a
         // scratch copy before any chain surgery, so the error path below
         // is only the (rare) comprehensiveness failure.
-        let saved_fw = self.firewall.clone();
-        let saved_suffix = self.suffix.clone();
         let mut staged = self.firewall.clone();
         for e in edits {
             e.apply_in_place(&mut staged)?;
         }
 
-        let mut fw = saved_fw.clone();
-        for e in edits {
-            self.patch_one(&mut fw, e)
-                .expect("edits validated on the staged policy");
-        }
-        debug_assert_eq!(fw, staged);
-        self.firewall = fw;
+        // Simulate the whole batch over the chain's rule metadata —
+        // alignment, memos, dirty marks — without touching the chain.
+        let sim = BatchSim::run(&self.firewall, std::mem::take(&mut self.memos), edits);
+        debug_assert_eq!(sim.work, staged);
+        let BatchSim {
+            work,
+            mut aligned,
+            mut memos,
+            scar,
+        } = sim;
 
-        if let Some(witness) = self.arena.unmatched_witness(self.root()) {
-            // Roll back. The chain ids are still valid (the arena is
-            // append-only), but the per-rule memo vector was reshaped by
-            // the failed edits — rebuilding it from scratch on this rare
-            // path keeps the happy path free of deep snapshots.
-            self.firewall = saved_fw;
-            self.suffix = saved_suffix;
+        let n_old = self.firewall.len();
+        let n_new = work.len();
+        let changed_positions = scar.iter().filter(|&&d| d).count();
+        let corridors = scar
+            .iter()
+            .zip(std::iter::once(&false).chain(scar.iter()))
+            .filter(|(cur, prev)| **cur && !**prev)
+            .count();
+        let corridor_span = match (scar.iter().position(|&d| d), scar.iter().rposition(|&d| d)) {
+            (Some(first), Some(last)) => last - first + 1,
+            _ => 0,
+        };
+        let plan =
+            forced.unwrap_or_else(|| BatchPlan::choose(edits.len(), changed_positions, n_new));
+
+        // The content-equal rule tail keeps its suffix ids verbatim; the
+        // sweep starts at the lowest position whose suffix can differ.
+        let tail_shared = match plan {
+            BatchPlan::Coalesced => common_tail(&self.firewall, &work),
+            BatchPlan::FullRebuild => {
+                // Rebuild the chain from the sentinel in the *same* arena
+                // (so old and new ids stay diffable) with fresh memos —
+                // alignment bookkeeping dropped, stale memo memory freed.
+                aligned = vec![None; n_new];
+                memos = (0..n_new).map(|_| PrependMemo::default()).collect();
+                0
+            }
+        };
+
+        // One upward sweep, built back-to-front then reversed. A position
+        // aligned with an untouched rule whose tail just re-interned to
+        // its old tail id copies its old suffix id in O(1) — prepend is a
+        // pure function of (rule content, tail id) within one arena — and
+        // that copy is what lets whole unchanged corridors between and
+        // above the edits flow by without a single set operation.
+        let mut suffix: Vec<ConsId> = Vec::with_capacity(n_new + 1);
+        suffix.push(self.suffix[n_old]);
+        for j in 0..tail_shared {
+            suffix.push(self.suffix[n_old - 1 - j]);
+        }
+        let mut prepends = 0usize;
+        let mut copied = 0usize;
+        let mut scratch = PrependScratch::for_fields(self.arena.schema().len());
+        // A deep batch interns thousands of nodes; grow the arena's node
+        // store and intern table once up front instead of rehashing a
+        // 10⁴-entry table mid-sweep.
+        self.arena.reserve(self.arena.len() / 4);
+        for i in (0..n_new - tail_shared).rev() {
+            let tail = *suffix.last().expect("sentinel seeds the chain");
+            if let Some(o) = aligned[i] {
+                if self.suffix[o + 1] == tail {
+                    suffix.push(self.suffix[o]);
+                    copied += 1;
+                    continue;
+                }
+            }
+            suffix.push(prepend(
+                &mut self.arena,
+                &work.rules()[i],
+                &mut memos[i],
+                tail,
+                &mut scratch,
+            ));
+            prepends += 1;
+        }
+        suffix.reverse();
+
+        if let Some(witness) = self.arena.unmatched_witness(suffix[0]) {
+            // Roll back: policy and chain were never touched, but the
+            // per-rule memo vector was taken for the simulation —
+            // rebuilding it fresh on this rare path keeps the happy path
+            // free of deep snapshots.
             self.memos = self
                 .firewall
                 .rules()
                 .iter()
-                .map(|_| PrependMemo::new())
+                .map(|_| PrependMemo::default())
                 .collect();
             return Err(CoreError::NotComprehensive { witness });
         }
-        Ok(())
-    }
 
-    /// Applies one already validated edit to `fw` and the chain.
-    fn patch_one(&mut self, fw: &mut Firewall, edit: &Edit) -> Result<(), CoreError> {
-        match edit {
-            Edit::Insert { index, rule } => {
-                fw.insert_rule(*index, rule.clone())?;
-                self.memos.insert(*index, PrependMemo::new());
-                let s = prepend(
-                    &mut self.arena,
-                    rule,
-                    &mut self.memos[*index],
-                    self.suffix[*index],
-                );
-                self.suffix.insert(*index, s);
-                self.reprepend(fw, *index, *index);
-            }
-            Edit::Remove { index } => {
-                fw.remove_rule(*index)?;
-                self.memos.remove(*index);
-                self.suffix.remove(*index);
-                self.reprepend(fw, *index, *index);
-            }
-            Edit::Replace { index, rule } => {
-                fw.replace_rule(*index, rule.clone())?;
-                self.memos[*index] = PrependMemo::new();
-                self.suffix[*index] = prepend(
-                    &mut self.arena,
-                    rule,
-                    &mut self.memos[*index],
-                    self.suffix[*index + 1],
-                );
-                self.reprepend(fw, *index, *index);
-            }
-            Edit::Swap { first, second } => {
-                fw.swap_rules(*first, *second)?;
-                if first == second {
-                    return Ok(());
-                }
-                let (lo, hi) = (*first.min(second), *first.max(second));
-                self.memos.swap(lo, hi);
-                self.suffix[hi] = prepend(
-                    &mut self.arena,
-                    &fw.rules()[hi],
-                    &mut self.memos[hi],
-                    self.suffix[hi + 1],
-                );
-                self.reprepend(fw, hi, lo);
-            }
-        }
-        Ok(())
-    }
-
-    /// Recomputes `suffix[from-1] .. suffix[0]` bottom-up. Below
-    /// `lowest_edited` every rule is unchanged from before the edit, so
-    /// the moment a recomputed suffix comes back with its old id
-    /// (hash-consing guarantees equal function ⇒ equal id at equal
-    /// structure) everything further up is unchanged too and the loop
-    /// stops.
-    fn reprepend(&mut self, fw: &Firewall, from: usize, lowest_edited: usize) {
-        for j in (0..from).rev() {
-            let next = prepend(
-                &mut self.arena,
-                &fw.rules()[j],
-                &mut self.memos[j],
-                self.suffix[j + 1],
-            );
-            if j < lowest_edited && next == self.suffix[j] {
-                return;
-            }
-            self.suffix[j] = next;
-        }
+        let sweep_levels = n_new - tail_shared;
+        self.firewall = work;
+        self.suffix = suffix;
+        self.memos = memos;
+        Ok(MaintainStats {
+            plan,
+            edits: edits.len(),
+            changed_positions,
+            corridors,
+            corridor_span,
+            tail_shared,
+            sweep_levels,
+            prepends,
+            copied,
+        })
     }
 
     /// The exact impact of everything applied since `old_root` (a
@@ -282,11 +486,24 @@ impl MaintainedFdd {
     ///
     /// As for [`apply`](Self::apply).
     pub fn apply_edits(&mut self, edits: &[Edit]) -> Result<ChangeImpact, CoreError> {
+        self.apply_edits_with_stats(edits).map(|(impact, _)| impact)
+    }
+
+    /// [`apply_edits`](Self::apply_edits), also reporting which
+    /// [`BatchPlan`] ran and the batch's corridor geometry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_edits_with_stats(
+        &mut self,
+        edits: &[Edit],
+    ) -> Result<(ChangeImpact, MaintainStats), CoreError> {
         let old_root = self.root();
-        self.apply(edits)?;
+        let stats = self.apply_with_stats(edits)?;
         let impact = self.diff_from(old_root)?;
         self.maybe_compact();
-        Ok(impact)
+        Ok((impact, stats))
     }
 
     /// Drops arena garbage once it dominates the live chain. Invalidates
@@ -317,17 +534,45 @@ impl MaintainedFdd {
 /// unconstrained the whole cell decides `rule.decision()` and `tail` is
 /// dropped. Memoised per `(field, tail node)` in `memo`, which outlives
 /// the call (see [`PrependMemo`]).
-fn prepend(arena: &mut ConsArena, rule: &Rule, memo: &mut PrependMemo, tail: ConsId) -> ConsId {
+/// One split-vector pair of the prepend recursion: the edges kept as-is
+/// (`parts`) and the edges whose children the corridor descends into.
+type SplitFrame = (Vec<(ConsId, Lbl)>, Vec<(ConsId, Lbl)>);
+
+/// Reusable buffers for the prepend recursion: one split-vector pair per
+/// schema field plus the wildcard prefix table, so a whole sweep allocates
+/// them once instead of once per visited node.
+struct PrependScratch {
+    /// `(parts, descend)` per field depth.
+    frames: Vec<SplitFrame>,
+    /// `wild[f]`: the current rule's fields `f..` are all unconstrained —
+    /// every packet reaching field `f` matches, first-match decides.
+    wild: Vec<bool>,
+}
+
+impl PrependScratch {
+    fn for_fields(d: usize) -> PrependScratch {
+        PrependScratch {
+            frames: (0..d).map(|_| (Vec::new(), Vec::new())).collect(),
+            wild: vec![true; d + 1],
+        }
+    }
+}
+
+fn prepend(
+    arena: &mut ConsArena,
+    rule: &Rule,
+    memo: &mut PrependMemo,
+    tail: ConsId,
+    scratch: &mut PrependScratch,
+) -> ConsId {
     let d = arena.schema().len();
-    // wild_from[f]: the rule's fields f.. are all unconstrained — every
-    // packet reaching field f matches, first-match decides the rule.
-    let mut wild_from = vec![true; d + 1];
+    scratch.wild[d] = true;
     for f in (0..d).rev() {
         let fid = FieldId(f);
         let dom = arena.schema().field(fid).domain();
-        wild_from[f] = wild_from[f + 1] && rule.predicate().set(fid).covers(dom);
+        scratch.wild[f] = scratch.wild[f + 1] && rule.predicate().set(fid).covers(dom);
     }
-    prepend_rec(arena, rule, &wild_from, memo, 0, tail)
+    prepend_rec(arena, rule, memo, 0, tail, scratch)
 }
 
 // Depth is bounded by the schema's field count, so plain recursion is
@@ -335,15 +580,16 @@ fn prepend(arena: &mut ConsArena, rule: &Rule, memo: &mut PrependMemo, tail: Con
 fn prepend_rec(
     arena: &mut ConsArena,
     rule: &Rule,
-    wild_from: &[bool],
     memo: &mut PrependMemo,
     field: usize,
     tail: ConsId,
+    scratch: &mut PrependScratch,
 ) -> ConsId {
-    if wild_from[field] {
+    if scratch.wild[field] {
         return arena.terminal(Some(rule.decision()));
     }
-    if let Some(&r) = memo.get(&(field, tail)) {
+    let key = ((field as u64) << 32) | u64::from(tail.raw());
+    if let Some(&r) = memo.get(&key) {
         return r;
     }
     let fid = FieldId(field);
@@ -353,18 +599,35 @@ fn prepend_rec(
     // this is where the sharing comes from — and parts inside it, queued
     // for descent. A tail constant on this field (terminal or later-field
     // node) contributes one virtual full-domain edge to itself.
-    let mut parts: Vec<(ConsId, fw_model::IntervalSet)> = Vec::new();
-    let mut descend: Vec<(ConsId, fw_model::IntervalSet)> = Vec::new();
+    let (mut parts, mut descend) = std::mem::take(&mut scratch.frames[field]);
     match arena.edges(tail) {
         Some((f, edges)) if f == fid => {
-            for (label, child) in edges {
+            // Most rules constrain a narrow window of a wide node, so the
+            // bulk of the edges is wholly outside `set` (kept by label id,
+            // no set algebra) or — for single-interval sets — wholly
+            // inside it (descended with the label id as-is). Only edges
+            // straddling the window pay for subtract/intersect.
+            let lo = set.min_value().expect("rule sets are nonempty");
+            let hi = set.max_value().expect("rule sets are nonempty");
+            let single = set.as_single_interval().is_some();
+            for (lid, child) in edges {
+                let (elo, ehi) = arena.label_window(*lid);
+                if ehi < lo || elo > hi {
+                    parts.push((*child, Lbl::Id(*lid)));
+                    continue;
+                }
+                if single && lo <= elo && ehi <= hi {
+                    descend.push((*child, Lbl::Id(*lid)));
+                    continue;
+                }
+                let label = arena.label(*lid);
                 let outside = label.subtract(set);
                 if !outside.is_empty() {
-                    parts.push((*child, outside));
+                    parts.push((*child, Lbl::Set(outside)));
                 }
                 let inside = label.intersect(set);
                 if !inside.is_empty() {
-                    descend.push((*child, inside));
+                    descend.push((*child, Lbl::Set(inside)));
                 }
             }
         }
@@ -372,19 +635,44 @@ fn prepend_rec(
             let domain = arena.schema().field(fid).domain();
             let outside = set.complement(domain);
             if !outside.is_empty() {
-                parts.push((tail, outside));
+                parts.push((tail, Lbl::Set(outside)));
             }
-            descend.push((tail, set.clone()));
+            descend.push((tail, Lbl::Set(set.clone())));
         }
     }
-    // Phase 2 (arena borrowed unique): descend into the corridor.
-    for (child, inside) in descend {
-        let c = prepend_rec(arena, rule, wild_from, memo, field + 1, child);
+    // Phase 2 (arena borrowed unique): descend into the corridor. The
+    // frame vectors were taken out of the scratch, so deeper recursion is
+    // free to use its own depth's pair.
+    for (child, inside) in descend.drain(..) {
+        let c = prepend_rec(arena, rule, memo, field + 1, child, scratch);
         parts.push((c, inside));
     }
-    let res = arena.internal(fid, parts);
-    memo.insert((field, tail), res);
+    let res = arena.internal_parts(fid, &mut parts);
+    scratch.frames[field] = (parts, descend);
+    memo.insert(key, res);
     res
+}
+
+/// The impact of a concrete edit batch, computed on a throwaway
+/// maintained chain: one §3 build of `before`, then the coalesced batch
+/// sweep (which reuses the shared tail by id and the travelling memos)
+/// and a short-circuit diff of the two roots. Strictly cheaper than
+/// building both chains — the after-chain costs one warm sweep instead
+/// of a cold construction. Used by [`ChangeImpact::of_edits`].
+///
+/// # Errors
+///
+/// [`CoreError::NotComprehensive`] if either policy leaves packets
+/// undecided; index/validation errors as for [`Edit::apply`].
+pub(crate) fn edit_batch_impact(
+    before: &Firewall,
+    edits: &[Edit],
+) -> Result<(Firewall, ChangeImpact), CoreError> {
+    let mut m = MaintainedFdd::new(before.clone())?;
+    let old_root = m.root();
+    m.apply(edits)?;
+    let impact = m.diff_from(old_root)?;
+    Ok((m.firewall, impact))
 }
 
 /// The impact of an *edit-shaped* change computed over one hash-consed
@@ -392,8 +680,9 @@ fn prepend_rec(
 /// rule-list tail constructed once and shared by id, then the roots are
 /// short-circuit diffed. For a batch of localized edits this touches the
 /// edited corridor plus one chain build; for the §8.1 top-insert it is
-/// one prepend. Used by [`ChangeImpact::of_edits`] and (behind a
-/// similarity check) [`ChangeImpact::between`].
+/// one prepend. Used (behind a similarity check) by
+/// [`ChangeImpact::between`], where only the two policies — not the edits
+/// that relate them — are known.
 ///
 /// # Errors
 ///
@@ -409,18 +698,25 @@ pub(crate) fn edit_path_impact(
     }
     let common = common_tail(before, after);
     let mut arena = ConsArena::new(before.schema().clone());
+    let mut scratch = PrependScratch::for_fields(arena.schema().len());
     let mut tail = arena.terminal(None);
-    let mut memo = PrependMemo::new();
+    let mut memo = PrependMemo::default();
     for i in (before.len() - common..before.len()).rev() {
         memo.clear();
-        tail = prepend(&mut arena, &before.rules()[i], &mut memo, tail);
+        tail = prepend(
+            &mut arena,
+            &before.rules()[i],
+            &mut memo,
+            tail,
+            &mut scratch,
+        );
     }
-    let chain_up = |arena: &mut ConsArena, fw: &Firewall, shared: ConsId| {
+    let mut chain_up = |arena: &mut ConsArena, fw: &Firewall, shared: ConsId| {
         let mut root = shared;
-        let mut memo = PrependMemo::new();
+        let mut memo = PrependMemo::default();
         for i in (0..fw.len() - common).rev() {
             memo.clear();
-            root = prepend(arena, &fw.rules()[i], &mut memo, root);
+            root = prepend(arena, &fw.rules()[i], &mut memo, root, &mut scratch);
         }
         root
     };
@@ -592,6 +888,63 @@ mod tests {
             rule: flip,
         }])
         .unwrap();
+    }
+
+    #[test]
+    fn crossover_picks_rebuild_only_for_majority_dirty_large_batches() {
+        // Small batches always sweep, however dirty.
+        assert_eq!(BatchPlan::choose(1, 10, 10), BatchPlan::Coalesced);
+        assert_eq!(BatchPlan::choose(7, 10, 10), BatchPlan::Coalesced);
+        // Large batches sweep while most positions keep alignment...
+        assert_eq!(BatchPlan::choose(16, 4, 100), BatchPlan::Coalesced);
+        assert_eq!(BatchPlan::choose(8, 49, 100), BatchPlan::Coalesced);
+        // ...and rebuild once the batch dirties at least half the policy.
+        assert_eq!(BatchPlan::choose(8, 50, 100), BatchPlan::FullRebuild);
+        assert_eq!(BatchPlan::choose(16, 100, 100), BatchPlan::FullRebuild);
+    }
+
+    #[test]
+    fn both_plan_arms_intern_to_the_same_diagram() {
+        let fw = paper::team_a();
+        let extra = Rule::catch_all(fw.schema(), Decision::DiscardLog);
+        let edits = vec![
+            Edit::Insert {
+                index: 0,
+                rule: extra.clone(),
+            },
+            Edit::Replace {
+                index: 2,
+                rule: extra,
+            },
+            Edit::Swap {
+                first: 1,
+                second: 2,
+            },
+        ];
+        let base = MaintainedFdd::new(fw).unwrap();
+        let mut swept = base.clone();
+        let s = swept.apply_planned(&edits, BatchPlan::Coalesced).unwrap();
+        let mut rebuilt = base.clone();
+        let r = rebuilt
+            .apply_planned(&edits, BatchPlan::FullRebuild)
+            .unwrap();
+        assert_eq!(s.plan, BatchPlan::Coalesced);
+        assert_eq!(r.plan, BatchPlan::FullRebuild);
+        // Hash-consing makes the arms' results literally the same node,
+        // so the exported diagrams are equal, not merely isomorphic.
+        assert_eq!(swept.root(), rebuilt.root());
+        assert_eq!(swept.firewall(), rebuilt.firewall());
+        let sf = swept.to_fdd().unwrap();
+        let rf = rebuilt.to_fdd().unwrap();
+        assert!(sf.isomorphic(&rf));
+        for p in swept.firewall().witnesses() {
+            assert_eq!(sf.decision_for(&p), rf.decision_for(&p));
+        }
+        // The rebuild arm re-prepends every position; the sweep copies
+        // the shared tail instead of re-deriving it.
+        assert!(r.prepends >= s.prepends);
+        assert_eq!(s.edits, 3);
+        assert_eq!(r.edits, 3);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use fw_core::{Edit, MaintainedFdd};
+use fw_core::{Edit, MaintainStats, MaintainedFdd};
 use fw_model::{Decision, Firewall, Packet};
 
 use crate::{CompiledFdd, ExecError, RecompileStats};
@@ -78,8 +78,12 @@ pub struct SwapReport {
     pub swapped: bool,
     /// The epoch after this call.
     pub epoch: u64,
-    /// Packets whose decision changed, from the impact analysis.
+    /// Packets whose decision changed, from the impact analysis —
+    /// schema-clamped, so never more packets than the space holds.
     pub affected_packets: u128,
+    /// The maintenance layer's receipt: which [`fw_core::BatchPlan`] the
+    /// coalesced batch sweep ran and its corridor geometry.
+    pub maintain: MaintainStats,
     /// The incremental recompile's shared/fresh accounting (`None` for a
     /// no-op batch).
     pub recompile: Option<RecompileStats>,
@@ -149,13 +153,14 @@ impl LiveMatcher {
     /// image and stored policy are untouched on error.
     pub fn apply_edits(&self, edits: &[Edit]) -> Result<SwapReport, ExecError> {
         let mut policy = self.policy.lock().unwrap_or_else(PoisonError::into_inner);
-        let impact = policy.apply_edits(edits)?;
+        let (impact, maintain) = policy.apply_edits_with_stats(edits)?;
         let affected_packets = impact.affected_packets_in(policy.firewall().schema());
         if impact.is_noop() {
             return Ok(SwapReport {
                 swapped: false,
                 epoch: self.epoch(),
                 affected_packets,
+                maintain,
                 recompile: None,
             });
         }
@@ -168,6 +173,7 @@ impl LiveMatcher {
             swapped: true,
             epoch,
             affected_packets,
+            maintain,
             recompile: Some(stats),
         })
     }
@@ -235,6 +241,48 @@ mod tests {
         assert_eq!(live.epoch(), 0);
         assert!(Arc::ptr_eq(&before, &live.load()));
         assert_eq!(live.policy(), paper::team_a());
+    }
+
+    /// Regression: the report's packet count is the schema-clamped one, so
+    /// even an edit flipping the whole domain (whose per-region sum counts
+    /// overlapping discrepancies) can never exceed the packet space — and
+    /// the maintenance receipt describes the batch that actually ran.
+    #[test]
+    fn report_clamps_affected_packets_and_carries_the_maintain_receipt() {
+        let fw = fw_synth::Synthesizer::new(77).firewall(20);
+        let space = fw.schema().packet_space();
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        let edits: Vec<Edit> = (0..3)
+            .map(|i| Edit::Replace {
+                index: i,
+                rule: fw.rules()[i].with_decision(fw.rules()[i].decision().inverted()),
+            })
+            .collect();
+        let report = live.apply_edits(&edits).unwrap();
+        assert!(report.swapped);
+        assert!(
+            report.affected_packets <= space,
+            "clamped count {} exceeds the packet space {space}",
+            report.affected_packets
+        );
+        assert_eq!(report.maintain.plan, fw_core::BatchPlan::Coalesced);
+        assert_eq!(report.maintain.edits, 3);
+        assert!(report.maintain.corridors >= 1);
+        assert!(report.maintain.corridor_span >= report.maintain.corridors);
+
+        // Flip the final catch-all: the whole unshadowed remainder
+        // changes decision, pushing the raw per-region sum toward the
+        // space — the clamp must hold near the boundary too.
+        let last = live.policy().rules().len() - 1;
+        let flip = live.policy().rules()[last]
+            .with_decision(live.policy().rules()[last].decision().inverted());
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: last,
+                rule: flip,
+            }])
+            .unwrap();
+        assert!(report.affected_packets <= space);
     }
 
     #[test]

@@ -36,9 +36,9 @@
 //! the handful of duplicated terminals this can cost is irrelevant next to
 //! not walking the clean 99% of a large policy's diagram.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use fw_core::{ChangeImpact, Discrepancy, Fdd, NodeId, NodeView};
+use fw_core::{ChangeImpact, Discrepancy, Fdd, FxMap, NodeId, NodeView};
 use fw_model::{FieldId, Interval, IntervalSet, Predicate};
 use serde::{Deserialize, Serialize};
 
@@ -113,13 +113,13 @@ struct Splicer<'a> {
     /// Match verdicts per (old arena id, new FDD node). A verdict is
     /// region-independent (see `matches`), so first-discovery memoisation
     /// is sound.
-    memo: HashMap<(u32, NodeId), bool>,
+    memo: FxMap<(u32, NodeId), bool>,
     /// Per new-image id: where the node comes from (filled at dequeue).
     sources: Vec<Option<Source>>,
     /// Per new-image id: BFS level (assigned at first discovery).
     levels: Vec<u8>,
-    old_ids: HashMap<u32, u32>,
-    new_ids: HashMap<NodeId, u32>,
+    old_ids: FxMap<u32, u32>,
+    new_ids: FxMap<NodeId, u32>,
     queue: VecDeque<Work>,
 }
 
@@ -142,11 +142,16 @@ impl<'a> Splicer<'a> {
     }
 
     fn check(&mut self, o: u32, n: NodeId, region: &Predicate) -> bool {
-        if self
-            .dirty
-            .iter()
-            .all(|d| region.intersect(d.predicate()).is_none())
-        {
+        // Hyper-rectangles are disjoint iff they are disjoint on some
+        // field; test that in place rather than materializing the
+        // intersection predicate just to see it come up empty.
+        if self.dirty.iter().all(|d| {
+            region
+                .sets()
+                .iter()
+                .zip(d.predicate().sets())
+                .any(|(r, s)| !r.intersects(s))
+        }) {
             return true;
         }
         let on = self.old.nodes[o as usize];
@@ -388,11 +393,11 @@ impl CompiledFdd {
             old: self,
             fdd,
             dirty: impact.discrepancies(),
-            memo: HashMap::new(),
+            memo: FxMap::default(),
             sources: Vec::new(),
             levels: Vec::new(),
-            old_ids: HashMap::new(),
-            new_ids: HashMap::new(),
+            old_ids: FxMap::default(),
+            new_ids: FxMap::default(),
             queue: VecDeque::new(),
         };
 

@@ -41,10 +41,12 @@
 //!                     one at a time, timing a full recompile
 //!                     (CompiledFdd::from_firewall) against the incremental
 //!                     splice (CompiledFdd::recompile) for each and
-//!                     verifying both agree on the whole trace. Lines are
-//!                     `insert IDX RULE`, `replace IDX RULE`, `remove IDX`,
-//!                     `swap I J` (RULE in the fw_model rule DSL); blank
-//!                     lines and `#` comments are skipped.
+//!                     verifying both agree on the whole trace; then apply
+//!                     the whole file again as ONE coalesced batch and
+//!                     report the sweep's plan and corridor stats. Lines
+//!                     are `insert IDX RULE`, `replace IDX RULE`,
+//!                     `remove IDX`, `swap I J` (RULE in the fw_model rule
+//!                     DSL); blank lines and `#` comments are skipped.
 //! ```
 //!
 //! Policy files use the rule DSL of `fw_model::parse` or `iptables-save`
@@ -554,7 +556,8 @@ fn replay_edits(
         println!(
             "edit {i}: full {full_us:.0} µs | incremental {inc_us:.0} µs (x{:.1}) | \
              {}/{} nodes reused, {} B copied, {} B fresh{} | \
-             {} changed region(s), impact {impact_us:.0} µs, fdd {fdd_us:.0} µs | \
+             {} changed region(s), {} affected packet(s), impact {impact_us:.0} µs, \
+             fdd {fdd_us:.0} µs | \
              maintained patch {maintain_us:.0} + diff {diff_us:.0} + export {export_us:.0} µs",
             full_us / inc_us,
             stats.nodes_shared,
@@ -566,7 +569,10 @@ fn replay_edits(
             } else {
                 ""
             },
-            impact.discrepancies().len()
+            impact.discrepancies().len(),
+            // Schema-clamped: a per-region sum can exceed the packet
+            // space; never report more packets than exist.
+            impact.affected_packets_in(cur_fw.schema()),
         );
         full_total += full_us;
         inc_total += inc_us;
@@ -583,5 +589,121 @@ fn replay_edits(
         full_total / inc_total,
         e2e_full_total / e2e_inc_total
     );
+
+    // The same file applied as ONE coalesced batch to a fresh chain — the
+    // path a LiveMatcher takes for a multi-edit call. Must land on exactly
+    // the policy and semantics the edit-by-edit replay reached.
+    let mut batch_m = match MaintainedFdd::new(fw.clone()) {
+        Ok(m) => m,
+        Err(err) => {
+            eprintln!("fwclass: building batch chain: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let t = Instant::now();
+    let (b_impact, b_stats) = match batch_m.apply_edits_with_stats(edits) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("fwclass: batch apply failed: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let batch_us = us(t.elapsed());
+    if batch_m.firewall() != &cur_fw {
+        eprintln!("fwclass: BUG: one-batch replay lands on a different policy");
+        return Err(ExitCode::FAILURE);
+    }
+    let b_fdd = match batch_m.to_fdd() {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("fwclass: batch export failed: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    for p in trace.packets() {
+        let linear = cur_fw.decision_for(p).expect("comprehensive policy");
+        if b_fdd.evaluate(p) != linear {
+            eprintln!("fwclass: BUG: one-batch chain disagrees with first-match at {p}");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    println!(
+        "batch replay: {} edit(s) as one {:?} batch in {batch_us:.0} µs | \
+         {} corridor(s) spanning {} position(s), {} tail rule(s) shared, \
+         {} prepend(s), {} copied | {} affected packet(s), verified against the trace",
+        edits.len(),
+        b_stats.plan,
+        b_stats.corridors,
+        b_stats.corridor_span,
+        b_stats.tail_shared,
+        b_stats.prepends,
+        b_stats.copied,
+        b_impact.affected_packets_in(cur_fw.schema()),
+    );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diverse_firewall::core::{ChangeImpact, Edit};
+
+    fn schema() -> Schema {
+        Schema::tcp_ip()
+    }
+
+    #[test]
+    fn parse_edits_accepts_all_four_ops() {
+        let text = "\
+# tighten, then shuffle
+insert 0 sport=80 -> discard
+replace 1 * -> accept
+remove 2
+swap 0 3
+";
+        let edits = parse_edits(&schema(), text).unwrap();
+        assert_eq!(edits.len(), 4);
+        assert!(matches!(edits[0], Edit::Insert { index: 0, .. }));
+        assert!(matches!(edits[1], Edit::Replace { index: 1, .. }));
+        assert!(matches!(edits[2], Edit::Remove { index: 2 }));
+        assert!(matches!(
+            edits[3],
+            Edit::Swap {
+                first: 0,
+                second: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_edits_reports_the_failing_line() {
+        for (text, needle) in [
+            ("replace x * -> accept\n", "bad index"),
+            ("widen 0\n", "unknown edit"),
+            ("swap 1\n", "swap needs two indices"),
+            ("insert 0\n", "insert needs an index and a rule"),
+        ] {
+            let err = parse_edits(&schema(), text).unwrap_err();
+            assert!(err.contains("line 1"), "missing line number: {err}");
+            assert!(err.contains(needle), "expected `{needle}` in: {err}");
+        }
+    }
+
+    /// Regression for the unclamped `affected_packets` rows the recompile
+    /// bench used to print: every packet count this binary reports goes
+    /// through the schema clamp, which can never exceed the packet space.
+    #[test]
+    fn reported_affected_packets_never_exceed_the_packet_space() {
+        let schema = schema();
+        let fw = Firewall::parse(schema.clone(), "* -> accept\n").unwrap();
+        // Flip the whole domain: the raw per-region sum equals the entire
+        // packet space; the clamped count must not pass it.
+        let edits = [Edit::Replace {
+            index: 0,
+            rule: fw.rules()[0].with_decision(Decision::Discard),
+        }];
+        let (_, impact) = ChangeImpact::of_edits(&fw, &edits).unwrap();
+        assert_eq!(impact.affected_packets_in(&schema), schema.packet_space());
+        assert!(impact.affected_packets_in(&schema) <= schema.packet_space());
+    }
 }

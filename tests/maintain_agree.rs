@@ -9,7 +9,9 @@
 //! packet of a tiny 2-field schema — mirroring `recompile_agree.rs` one
 //! layer down.
 
-use diverse_firewall::core::{compare_firewalls, ChangeImpact, Edit, Fdd, MaintainedFdd};
+use diverse_firewall::core::{
+    compare_firewalls, BatchPlan, ChangeImpact, Edit, Fdd, MaintainedFdd,
+};
 use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
 use diverse_firewall::synth::{evolve, EvolutionProfile, PacketTrace, Synthesizer};
 use proptest::prelude::*;
@@ -244,6 +246,202 @@ fn non_comprehensive_edits_roll_back() {
     );
 }
 
+/// The coalesced one-sweep batch must land on exactly the state that
+/// applying the same edits one at a time (each as its own batch) lands
+/// on: same policy, and diagrams that decide every probe identically.
+/// The per-edit replay is the pre-coalescing semantics, so this is the
+/// direct oracle for the batched sweep.
+#[test]
+fn coalesced_batch_matches_sequential_per_edit_replay() {
+    for (seed, rules) in [(41u64, 10usize), (87, 22), (311, 30)] {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let packets = probes(&fw, 200, seed + 13);
+        let base = MaintainedFdd::new(fw.clone()).unwrap();
+        for k in BATCH_SIZES {
+            let edits = edits_for(&fw, k, seed * 7 + k as u64);
+            let tag = format!("seed {seed}, k={k}");
+
+            let mut coalesced = base.clone();
+            assert_maintained_batch(&mut coalesced, &edits, &packets, &tag);
+
+            let mut sequential = base.clone();
+            for (i, e) in edits.iter().enumerate() {
+                sequential
+                    .apply_edits(std::slice::from_ref(e))
+                    .unwrap_or_else(|err| panic!("{tag}: sequential edit {i} failed: {err}"));
+            }
+
+            assert_eq!(
+                coalesced.firewall(),
+                sequential.firewall(),
+                "{tag}: batched and per-edit replay disagree on the policy"
+            );
+            let c = coalesced.to_fdd().unwrap();
+            let s = sequential.to_fdd().unwrap();
+            for p in &packets {
+                assert_eq!(
+                    c.evaluate(p),
+                    s.evaluate(p),
+                    "{tag}: batched and per-edit diagrams diverge at {p}"
+                );
+            }
+        }
+    }
+}
+
+/// Adversarial hand-rolled batches the evolver rarely produces: an
+/// insert immediately cancelled by a remove of the same slot (a net
+/// no-op that must keep the root id), duplicate-target replaces where
+/// the later edit wins, and edits at adjacent indices whose corridors
+/// overlap after the insert shifts the tail.
+#[test]
+fn adversarial_batches_match_the_oracles() {
+    let fw = Synthesizer::new(59).firewall(12);
+    let packets = probes(&fw, 200, 29);
+    let base = MaintainedFdd::new(fw.clone()).unwrap();
+    let flipped = |i: usize| fw.rules()[i].with_decision(fw.rules()[i].decision().inverted());
+
+    // Insert at 3 then remove slot 3: the remove strikes the rule the
+    // insert just placed, so the batch is the identity on the policy.
+    let mut m = base.clone();
+    let impact = assert_maintained_batch(
+        &mut m,
+        &[
+            Edit::Insert {
+                index: 3,
+                rule: flipped(0),
+            },
+            Edit::Remove { index: 3 },
+        ],
+        &packets,
+        "insert+remove same slot",
+    );
+    assert!(impact.is_noop(), "insert+remove same slot must be a no-op");
+    assert_eq!(
+        m.root(),
+        base.root(),
+        "a cancelling batch must re-intern to the old root id"
+    );
+    assert_eq!(&fw, m.firewall());
+
+    // Two replaces aimed at the same index: only the later one shows.
+    let mut m = base.clone();
+    assert_maintained_batch(
+        &mut m,
+        &[
+            Edit::Replace {
+                index: 5,
+                rule: flipped(0),
+            },
+            Edit::Replace {
+                index: 5,
+                rule: flipped(5),
+            },
+        ],
+        &packets,
+        "duplicate-target replaces",
+    );
+    assert_eq!(
+        m.firewall().rules()[5],
+        flipped(5),
+        "the later duplicate-target replace must win"
+    );
+
+    // Adjacent indices: replace 4, insert at 5, replace the shifted 6 —
+    // three edits whose dirty positions fuse into one corridor.
+    let mut m = base.clone();
+    assert_maintained_batch(
+        &mut m,
+        &[
+            Edit::Replace {
+                index: 4,
+                rule: flipped(4),
+            },
+            Edit::Insert {
+                index: 5,
+                rule: flipped(2),
+            },
+            Edit::Replace {
+                index: 6,
+                rule: flipped(5),
+            },
+        ],
+        &packets,
+        "adjacent overlapping corridors",
+    );
+
+    // Remove then insert at the same index: a replace spelled as two
+    // edits, landing the new rule exactly where the old one sat.
+    let mut m = base.clone();
+    assert_maintained_batch(
+        &mut m,
+        &[
+            Edit::Remove { index: 7 },
+            Edit::Insert {
+                index: 7,
+                rule: flipped(7),
+            },
+        ],
+        &packets,
+        "remove+insert same slot",
+    );
+    assert_eq!(m.firewall().rules()[7], flipped(7));
+}
+
+/// Forcing each [`BatchPlan`] arm on the same batch must intern to the
+/// same root id (hash-consing makes the arms' diagrams one node), report
+/// the same impact, and leave identical policies — and the heuristic's
+/// own pick must match one of the forced runs exactly.
+#[test]
+fn forced_plans_produce_identical_diagrams() {
+    for (seed, rules, k) in [(71u64, 12usize, 4usize), (140, 18, 16), (9, 25, 8)] {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let packets = probes(&fw, 150, seed + 3);
+        let base = MaintainedFdd::new(fw.clone()).unwrap();
+        let edits = edits_for(&fw, k, seed * 11 + 1);
+        let tag = format!("seed {seed}, k={k}");
+
+        let mut swept = base.clone();
+        let swept_stats = swept.apply_planned(&edits, BatchPlan::Coalesced).unwrap();
+        let mut rebuilt = base.clone();
+        let rebuilt_stats = rebuilt
+            .apply_planned(&edits, BatchPlan::FullRebuild)
+            .unwrap();
+        assert_eq!(swept_stats.plan, BatchPlan::Coalesced);
+        assert_eq!(rebuilt_stats.plan, BatchPlan::FullRebuild);
+
+        assert_eq!(
+            swept.firewall(),
+            rebuilt.firewall(),
+            "{tag}: forced arms disagree on the policy"
+        );
+        assert_eq!(
+            swept.root(),
+            rebuilt.root(),
+            "{tag}: forced arms intern to different roots"
+        );
+        assert_chain_serves(&swept, &packets, &format!("{tag}, coalesced arm"));
+        assert_chain_serves(&rebuilt, &packets, &format!("{tag}, rebuild arm"));
+        assert_eq!(
+            swept.diff_from(base.root()).unwrap().affected_packets(),
+            rebuilt.diff_from(base.root()).unwrap().affected_packets(),
+            "{tag}: forced arms report different impacts"
+        );
+
+        let mut chosen = base.clone();
+        let chosen_stats = chosen.apply_with_stats(&edits).unwrap();
+        assert_eq!(
+            chosen.root(),
+            swept.root(),
+            "{tag}: the heuristic's pick diverges from the forced arms"
+        );
+        assert!(
+            chosen_stats.plan == BatchPlan::Coalesced
+                || chosen_stats.plan == BatchPlan::FullRebuild
+        );
+    }
+}
+
 /// Exhaustive oracle: on a tiny 2-field schema (3 bits each) all 64
 /// packets are enumerable, so the maintained chain and its diffs are
 /// checked cell-by-cell — for evolved batches of every size in
@@ -302,5 +500,60 @@ fn maintained_matches_exhaustive_oracle_on_tiny_schema() {
         ];
         let mut m = base.clone();
         assert_maintained_batch(&mut m, &mixed, &all, &format!("policy {k}, mixed batch"));
+    }
+}
+
+/// Doubling sweep on the tiny schema: batch sizes 1/2/4/8 checked
+/// against all 64 packets, straddling the rebuild crossover — an 8-edit
+/// batch that dirties every position of a 3-rule policy must take the
+/// `FullRebuild` arm, while the smaller batches stay `Coalesced`, and
+/// both regimes must pass the same exhaustive oracle.
+#[test]
+fn tiny_schema_sweep_crosses_the_rebuild_crossover() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let all: Vec<Packet> = (0..8u64)
+        .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+        .collect();
+    let fw = Firewall::parse(
+        schema,
+        "a=1-4, b=0-5 -> discard\nb=2-3 -> accept-log\n* -> accept\n",
+    )
+    .unwrap();
+    let base = MaintainedFdd::new(fw.clone()).unwrap();
+
+    for k in [1usize, 2, 4, 8] {
+        // k replaces cycling over the positions: for k=8 every position
+        // of the 3-rule policy is dirtied, tripping the crossover.
+        let edits: Vec<Edit> = (0..k)
+            .map(|i| {
+                let index = i % fw.len();
+                Edit::Replace {
+                    index,
+                    rule: fw.rules()[index].with_decision(fw.rules()[index].decision().inverted()),
+                }
+            })
+            .collect();
+        let mut m = base.clone();
+        let before = m.firewall().clone();
+        let (impact, stats) = m.apply_edits_with_stats(&edits).unwrap();
+        let expected = if k >= 8 {
+            BatchPlan::FullRebuild
+        } else {
+            BatchPlan::Coalesced
+        };
+        assert_eq!(stats.plan, expected, "k={k} picked the wrong arm");
+        assert_eq!(stats.edits, k);
+        assert_chain_serves(&m, &all, &format!("tiny sweep k={k}"));
+        assert_impact_agrees(
+            &before,
+            m.firewall(),
+            &impact,
+            &all,
+            &format!("tiny sweep k={k}"),
+        );
     }
 }
