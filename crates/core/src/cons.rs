@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
-use fw_model::{Decision, FieldId, IntervalSet, Schema};
+use fw_model::{Decision, FieldId, Interval, IntervalSet, Schema};
 
 use crate::discrepancy::{coalesce, Discrepancy};
 use crate::fdd::{Edge, Fdd, Node};
@@ -118,6 +118,12 @@ impl ConsId {
     pub(crate) fn raw(self) -> u32 {
         self.0
     }
+
+    /// The inverse of [`raw`](Self::raw), for unpacking flat cache keys
+    /// (maintenance-layer memo remapping after a compaction).
+    pub(crate) fn from_raw(raw: u32) -> ConsId {
+        ConsId(raw)
+    }
 }
 
 /// An interned edge label: an index into the arena's label store. Labels
@@ -134,6 +140,25 @@ pub(crate) type LabelId = u32;
 pub(crate) enum Lbl {
     Id(LabelId),
     Set(IntervalSet),
+}
+
+/// A borrowed view of one canonical node ([`ConsArena::view`]): the
+/// public, label-resolved counterpart of the arena's internal edge form,
+/// for lowering passes in sibling crates that compile arena subgraphs
+/// directly (per shared [`ConsId`], without an [`Fdd`] export in between).
+#[derive(Debug)]
+pub enum ConsView<'a> {
+    /// A terminal decision; `None` is the unmatched sentinel (a total
+    /// diagram never reaches it).
+    Terminal(Option<Decision>),
+    /// An internal test: edges merged per child, sorted by least label
+    /// value, jointly covering the field's domain.
+    Internal {
+        /// The field this node tests.
+        field: FieldId,
+        /// `(label set, child)` per canonical edge.
+        edges: Vec<(&'a IntervalSet, ConsId)>,
+    },
 }
 
 /// One canonical node: a terminal (with `None` as the unmatched sentinel)
@@ -470,6 +495,52 @@ impl ConsArena {
         }
     }
 
+    /// A borrowed public view of one canonical node, for external lowering
+    /// passes that walk the arena directly (the compiled runtime's shared
+    /// subgraph pool) without exporting a standalone [`Fdd`] first.
+    pub fn view(&self, id: ConsId) -> ConsView<'_> {
+        match &self.nodes[id.index()] {
+            ConsNode::Terminal(d) => ConsView::Terminal(*d),
+            ConsNode::Internal { field, edges } => ConsView::Internal {
+                field: *field,
+                edges: edges
+                    .iter()
+                    .map(|(lid, child)| (&self.labels[*lid as usize], *child))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Approximate heap bytes held by the arena: the node store with its
+    /// edge vectors, the interned label store, and the intern tables. An
+    /// accounting estimate (hash-map overhead is approximated per entry),
+    /// not an allocator measurement — used by the fleet registry's
+    /// per-tenant byte reports.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                size_of::<ConsNode>()
+                    + match n {
+                        ConsNode::Terminal(_) => 0,
+                        ConsNode::Internal { edges, .. } => {
+                            edges.capacity() * size_of::<(LabelId, ConsId)>()
+                        }
+                    }
+            })
+            .sum();
+        let label_bytes: usize = self
+            .labels
+            .iter()
+            .map(|s| size_of::<IntervalSet>() + s.iter().len() * size_of::<Interval>())
+            .sum();
+        let table_bytes = (self.table.capacity() + self.label_table.capacity())
+            * (size_of::<u64>() + size_of::<u32>() + size_of::<u64>());
+        node_bytes + label_bytes + table_bytes + size_of::<(u64, u64)>() * self.label_meta.len()
+    }
+
     /// The number of nodes reachable from `roots` (deduplicated).
     pub fn live_from(&self, roots: &[ConsId]) -> usize {
         let mut seen = vec![false; self.nodes.len()];
@@ -601,12 +672,23 @@ impl ConsArena {
     /// [`ConsId`] is invalidated — this is the one operation that breaks
     /// the append-only guarantee, so it is explicit.
     pub fn compact(&mut self, roots: &mut [ConsId]) {
+        self.compact_mapped(roots);
+    }
+
+    /// [`compact`](Self::compact), also returning the old-id → new-id map
+    /// for every retained node. Multi-root owners (the fleet registry,
+    /// with many tenants' chains in one arena) use the map to remap every
+    /// outstanding id — suffix entries, prepend memos, compiled-pool keys
+    /// — instead of dropping that state. Ids absent from the map were
+    /// unreachable from `roots` and are gone.
+    pub fn compact_mapped(&mut self, roots: &mut [ConsId]) -> FxMap<ConsId, ConsId> {
         let mut fresh = ConsArena::new(self.schema.clone());
         let mut map: FxMap<ConsId, ConsId> = FxMap::default();
         for r in roots.iter_mut() {
             *r = self.compact_rec(*r, &mut fresh, &mut map);
         }
         *self = fresh;
+        map
     }
 
     fn compact_rec(

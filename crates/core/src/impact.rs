@@ -144,9 +144,11 @@ impl ChangeImpact {
         crate::maintain::edit_batch_impact(before, edits)
     }
 
-    /// Wraps an already computed discrepancy set (the maintenance layer's
-    /// constructor).
-    pub(crate) fn from_discrepancies(discrepancies: Vec<Discrepancy>) -> ChangeImpact {
+    /// Wraps an already computed discrepancy set — the maintenance-layer
+    /// constructor, public so external serving layers (the fleet
+    /// registry) can turn a [`crate::ConsArena::diff`] of two roots into
+    /// the same impact report the single-policy pipeline produces.
+    pub fn from_discrepancies(discrepancies: Vec<Discrepancy>) -> ChangeImpact {
         ChangeImpact { discrepancies }
     }
 

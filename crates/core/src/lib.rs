@@ -63,14 +63,14 @@ mod stats;
 
 pub use build::IncrementalBuilder;
 pub use compare::{compare_firewalls, compare_firewalls_via_shaping, compare_shaped, equivalent};
-pub use cons::{ConsArena, ConsId};
+pub use cons::{ConsArena, ConsId, ConsView};
 #[doc(hidden)]
 pub use cons::{FxHasher, FxMap};
 pub use discrepancy::{coalesce, coalesce_multi, Discrepancy, MultiDiscrepancy};
 pub use error::CoreError;
 pub use fdd::{domain_label, label, Edge, Fdd, FddBuilder, NodeId, NodeView};
 pub use impact::{ChangeImpact, Edit};
-pub use maintain::{BatchPlan, MaintainStats, MaintainedFdd};
+pub use maintain::{BatchPlan, MaintainStats, MaintainedFdd, SuffixChain};
 pub use multiway::{
     cross_compare, direct_compare, direct_compare_jobs, project_pair, shape_all,
     PairwiseDiscrepancies,

@@ -43,14 +43,15 @@
 use fw_model::{FieldId, Firewall, Rule};
 use serde::{Deserialize, Serialize};
 
-use crate::cons::{ConsArena, ConsId, Lbl};
+use crate::cons::{ConsArena, ConsId, FxMap, Lbl};
 use crate::impact::{ChangeImpact, Edit};
 use crate::CoreError;
 
 /// Per-rule prepend cache: `field << 32 | tail node` → prepended result.
 /// Valid for the life of the arena (it is append-only) and for this rule's
-/// content wherever the rule moves; cleared when the arena is compacted.
-type PrependMemo = crate::cons::FxMap<u64, ConsId>;
+/// content wherever the rule moves; remapped when the arena is compacted
+/// ([`SuffixChain::remap`]).
+type PrependMemo = FxMap<u64, ConsId>;
 
 /// How a batch was applied to the suffix chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -192,32 +193,19 @@ impl BatchSim {
     }
 }
 
-/// A firewall with its FDD kept incrementally up to date (see module
-/// docs).
+/// A policy's suffix chain living in a **caller-owned** [`ConsArena`] —
+/// the sharable core of [`MaintainedFdd`]. Several chains may intern into
+/// one arena (the fleet registry hosts every tenant on a schema this
+/// way): hash-consing then makes structurally shared suffixes literally
+/// the same nodes, so near-copies of a policy cost only their deltas.
 ///
-/// # Example
-///
-/// ```
-/// # fn main() -> Result<(), fw_core::CoreError> {
-/// use fw_core::{Edit, MaintainedFdd};
-/// use fw_model::{paper, Decision, Rule};
-///
-/// let mut m = MaintainedFdd::new(paper::team_a())?;
-/// // §8.1's common case: a new blanket rule at the top — one prepend.
-/// let impact = m.apply_edits(&[Edit::Insert {
-///     index: 0,
-///     rule: Rule::catch_all(m.firewall().schema(), Decision::Discard),
-/// }])?;
-/// assert!(!impact.is_noop());
-/// let fdd = m.to_fdd()?; // servable post-edit diagram
-/// assert!(fdd.node_count() > 0);
-/// # Ok(())
-/// # }
-/// ```
+/// Every method that grows the diagram takes the arena explicitly; the
+/// caller is responsible for always passing the same arena the chain was
+/// built in ([`CoreError::SchemaMismatch`] catches cross-schema mix-ups,
+/// cross-arena mix-ups with an equal schema are undetectable).
 #[derive(Debug, Clone)]
-pub struct MaintainedFdd {
+pub struct SuffixChain {
     firewall: Firewall,
-    arena: ConsArena,
     /// `suffix[i]` = diagram of rules `i..n`; `suffix[n]` = unmatched
     /// sentinel. Always `firewall.len() + 1` entries.
     suffix: Vec<ConsId>,
@@ -225,43 +213,46 @@ pub struct MaintainedFdd {
     memos: Vec<PrependMemo>,
 }
 
-impl MaintainedFdd {
-    /// Builds the suffix chain for `firewall`.
+impl SuffixChain {
+    /// Builds the suffix chain for `firewall` in `arena` (the §3 Fig. 7
+    /// recurrence, bottom-up).
     ///
     /// # Errors
     ///
-    /// [`CoreError::NotComprehensive`] if some packet matches no rule
-    /// (as for [`crate::Fdd::from_firewall`]).
-    pub fn new(firewall: Firewall) -> Result<MaintainedFdd, CoreError> {
-        let mut m = MaintainedFdd {
-            arena: ConsArena::new(firewall.schema().clone()),
-            suffix: Vec::new(),
-            memos: firewall
-                .rules()
-                .iter()
-                .map(|_| PrependMemo::default())
-                .collect(),
-            firewall,
-        };
-        let mut chain = vec![m.arena.terminal(None)];
-        let mut scratch = PrependScratch::for_fields(m.arena.schema().len());
-        for i in (0..m.firewall.len()).rev() {
+    /// [`CoreError::SchemaMismatch`] if `firewall` is not on the arena's
+    /// schema; [`CoreError::NotComprehensive`] if some packet matches no
+    /// rule (as for [`crate::Fdd::from_firewall`]).
+    pub fn build(arena: &mut ConsArena, firewall: Firewall) -> Result<SuffixChain, CoreError> {
+        if firewall.schema() != arena.schema() {
+            return Err(CoreError::SchemaMismatch);
+        }
+        let mut memos: Vec<PrependMemo> = firewall
+            .rules()
+            .iter()
+            .map(|_| PrependMemo::default())
+            .collect();
+        let mut chain = vec![arena.terminal(None)];
+        let mut scratch = PrependScratch::for_fields(arena.schema().len());
+        for i in (0..firewall.len()).rev() {
             let tail = *chain.last().expect("chain is nonempty");
             let next = prepend(
-                &mut m.arena,
-                &m.firewall.rules()[i],
-                &mut m.memos[i],
+                arena,
+                &firewall.rules()[i],
+                &mut memos[i],
                 tail,
                 &mut scratch,
             );
             chain.push(next);
         }
         chain.reverse();
-        m.suffix = chain;
-        if let Some(witness) = m.arena.unmatched_witness(m.root()) {
+        if let Some(witness) = arena.unmatched_witness(chain[0]) {
             return Err(CoreError::NotComprehensive { witness });
         }
-        Ok(m)
+        Ok(SuffixChain {
+            firewall,
+            suffix: chain,
+            memos,
+        })
     }
 
     /// The maintained policy.
@@ -269,77 +260,52 @@ impl MaintainedFdd {
         &self.firewall
     }
 
-    /// The canonical id of the full policy's diagram (`S_0`). Stable until
-    /// the next [`apply`](Self::apply) / [`apply_edits`](Self::apply_edits)
-    /// call; ids from before and after an `apply` may be compared and
-    /// diffed ([`diff_from`](Self::diff_from)).
+    /// The canonical id of the full policy's diagram (`S_0`).
     pub fn root(&self) -> ConsId {
         self.suffix[0]
     }
 
-    /// Nodes reachable from the current root.
-    pub fn node_count(&self) -> usize {
-        self.arena.live_from(&[self.root()])
+    /// Every suffix id of the chain, sentinel included — the root set a
+    /// multi-chain owner passes to [`ConsArena::compact_mapped`] /
+    /// [`ConsArena::live_from`].
+    pub fn suffix_ids(&self) -> &[ConsId] {
+        &self.suffix
     }
 
-    /// Total nodes interned in the arena, including garbage from past
-    /// edits (see [`compact`](Self::compact)).
-    pub fn arena_len(&self) -> usize {
-        self.arena.len()
-    }
-
-    /// Exports the current diagram as a standalone reduced [`crate::Fdd`]
-    /// — the form the compiled runtime lowers.
-    ///
-    /// # Errors
-    ///
-    /// Never fails after a successful construction or edit (both verify
-    /// comprehensiveness); the `Result` mirrors [`ConsArena::to_fdd`].
-    pub fn to_fdd(&self) -> Result<crate::Fdd, CoreError> {
-        self.arena.to_fdd(self.root())
-    }
-
-    /// Patches the suffix chain and policy under `edits`, applied as one
-    /// coalesced batch (one upward sweep, see [`MaintainStats`]), without
-    /// computing the impact. On error the maintained state is unchanged.
+    /// Patches the chain and policy under `edits` as one coalesced batch.
+    /// On error the chain is unchanged (though the arena may have grown).
     ///
     /// # Errors
     ///
     /// Index/validation errors as for [`Edit::apply`];
     /// [`CoreError::NotComprehensive`] if the edited policy no longer
     /// decides every packet.
-    pub fn apply(&mut self, edits: &[Edit]) -> Result<(), CoreError> {
-        self.apply_with_stats(edits).map(|_| ())
+    pub fn apply_with_stats(
+        &mut self,
+        arena: &mut ConsArena,
+        edits: &[Edit],
+    ) -> Result<MaintainStats, CoreError> {
+        self.apply_batch(arena, edits, None)
     }
 
-    /// [`apply`](Self::apply), also reporting which [`BatchPlan`] ran and
-    /// the batch's corridor geometry.
+    /// [`apply_with_stats`](Self::apply_with_stats) with the
+    /// [`BatchPlan`] forced instead of chosen by the crossover heuristic.
     ///
     /// # Errors
     ///
-    /// As for [`apply`](Self::apply).
-    pub fn apply_with_stats(&mut self, edits: &[Edit]) -> Result<MaintainStats, CoreError> {
-        self.apply_batch(edits, None)
-    }
-
-    /// [`apply_with_stats`](Self::apply_with_stats) with the plan forced
-    /// instead of chosen by the crossover heuristic. Both arms produce the
-    /// same diagram (hash-consing makes them intern to the same root); the
-    /// forced form exists so equivalence suites can prove exactly that.
-    ///
-    /// # Errors
-    ///
-    /// As for [`apply`](Self::apply).
+    /// As for [`apply_with_stats`](Self::apply_with_stats).
     pub fn apply_planned(
         &mut self,
+        arena: &mut ConsArena,
         edits: &[Edit],
         plan: BatchPlan,
     ) -> Result<MaintainStats, CoreError> {
-        self.apply_batch(edits, Some(plan))
+        self.apply_batch(arena, edits, Some(plan))
     }
 
     fn apply_batch(
         &mut self,
+        arena: &mut ConsArena,
         edits: &[Edit],
         forced: Option<BatchPlan>,
     ) -> Result<MaintainStats, CoreError> {
@@ -404,11 +370,11 @@ impl MaintainedFdd {
         }
         let mut prepends = 0usize;
         let mut copied = 0usize;
-        let mut scratch = PrependScratch::for_fields(self.arena.schema().len());
+        let mut scratch = PrependScratch::for_fields(arena.schema().len());
         // A deep batch interns thousands of nodes; grow the arena's node
         // store and intern table once up front instead of rehashing a
         // 10⁴-entry table mid-sweep.
-        self.arena.reserve(self.arena.len() / 4);
+        arena.reserve(arena.len() / 4);
         for i in (0..n_new - tail_shared).rev() {
             let tail = *suffix.last().expect("sentinel seeds the chain");
             if let Some(o) = aligned[i] {
@@ -419,7 +385,7 @@ impl MaintainedFdd {
                 }
             }
             suffix.push(prepend(
-                &mut self.arena,
+                arena,
                 &work.rules()[i],
                 &mut memos[i],
                 tail,
@@ -429,7 +395,7 @@ impl MaintainedFdd {
         }
         suffix.reverse();
 
-        if let Some(witness) = self.arena.unmatched_witness(suffix[0]) {
+        if let Some(witness) = arena.unmatched_witness(suffix[0]) {
             // Roll back: policy and chain were never touched, but the
             // per-rule memo vector was taken for the simulation —
             // rebuilding it fresh on this rare path keeps the happy path
@@ -458,6 +424,198 @@ impl MaintainedFdd {
             prepends,
             copied,
         })
+    }
+
+    /// Rewrites every id the chain holds through a compaction map from
+    /// [`ConsArena::compact_mapped`]. Suffix ids must all be present
+    /// (pass them in the compaction's root set); prepend-memo entries are
+    /// **remapped, not dropped** — an entry survives iff both its tail
+    /// and its result were retained, so the caches stay warm across a
+    /// shared-arena compaction.
+    ///
+    /// # Panics
+    ///
+    /// If a suffix id is missing from `map` — the caller failed to
+    /// include this chain's [`suffix_ids`](Self::suffix_ids) in the
+    /// compaction roots, and the chain is unrecoverable.
+    pub fn remap(&mut self, map: &FxMap<ConsId, ConsId>) {
+        for s in &mut self.suffix {
+            *s = *map
+                .get(s)
+                .expect("chain suffix ids must be compaction roots");
+        }
+        for memo in &mut self.memos {
+            let entries: Vec<(u64, ConsId)> = memo.drain().collect();
+            for (key, val) in entries {
+                let tail = ConsId::from_raw((key & u64::from(u32::MAX)) as u32);
+                if let (Some(&new_tail), Some(&new_val)) = (map.get(&tail), map.get(&val)) {
+                    let new_key = (key & !u64::from(u32::MAX)) | u64::from(new_tail.raw());
+                    memo.insert(new_key, new_val);
+                }
+            }
+        }
+    }
+
+    /// Drops every per-rule prepend cache. Pure caches — correctness is
+    /// unaffected, the next edit just re-derives what it needs. The fleet
+    /// registry trims cold tenants this way: a fleet member that never
+    /// edits should not pay memo memory for the build that created it.
+    pub fn trim_memos(&mut self) {
+        for m in &mut self.memos {
+            *m = PrependMemo::default();
+        }
+    }
+
+    /// Approximate heap bytes of the chain's own state (suffix vector,
+    /// memos, rule list) — the *per-tenant marginal* cost in a shared
+    /// arena, excluding the arena itself.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let schema = self.firewall.schema();
+        let rules: usize = self
+            .firewall
+            .rules()
+            .iter()
+            .map(|r| {
+                size_of::<Rule>()
+                    + (0..schema.len())
+                        .map(|f| {
+                            size_of::<fw_model::IntervalSet>()
+                                + r.predicate().set(FieldId(f)).iter().len()
+                                    * size_of::<fw_model::Interval>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let memos: usize = self
+            .memos
+            .iter()
+            .map(|m| m.capacity() * (size_of::<u64>() + size_of::<ConsId>() + size_of::<u64>()))
+            .sum();
+        rules + memos + self.suffix.capacity() * size_of::<ConsId>()
+    }
+}
+
+/// A firewall with its FDD kept incrementally up to date (see module
+/// docs): a [`SuffixChain`] bundled with its own private [`ConsArena`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fw_core::CoreError> {
+/// use fw_core::{Edit, MaintainedFdd};
+/// use fw_model::{paper, Decision, Rule};
+///
+/// let mut m = MaintainedFdd::new(paper::team_a())?;
+/// // §8.1's common case: a new blanket rule at the top — one prepend.
+/// let impact = m.apply_edits(&[Edit::Insert {
+///     index: 0,
+///     rule: Rule::catch_all(m.firewall().schema(), Decision::Discard),
+/// }])?;
+/// assert!(!impact.is_noop());
+/// let fdd = m.to_fdd()?; // servable post-edit diagram
+/// assert!(fdd.node_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaintainedFdd {
+    arena: ConsArena,
+    chain: SuffixChain,
+}
+
+impl MaintainedFdd {
+    /// Builds the suffix chain for `firewall`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotComprehensive`] if some packet matches no rule
+    /// (as for [`crate::Fdd::from_firewall`]).
+    pub fn new(firewall: Firewall) -> Result<MaintainedFdd, CoreError> {
+        let mut arena = ConsArena::new(firewall.schema().clone());
+        let chain = SuffixChain::build(&mut arena, firewall)?;
+        Ok(MaintainedFdd { arena, chain })
+    }
+
+    /// The maintained policy.
+    pub fn firewall(&self) -> &Firewall {
+        self.chain.firewall()
+    }
+
+    /// The canonical id of the full policy's diagram (`S_0`). Stable until
+    /// the next [`apply`](Self::apply) / [`apply_edits`](Self::apply_edits)
+    /// call; ids from before and after an `apply` may be compared and
+    /// diffed ([`diff_from`](Self::diff_from)).
+    pub fn root(&self) -> ConsId {
+        self.chain.root()
+    }
+
+    /// Nodes reachable from the current root.
+    pub fn node_count(&self) -> usize {
+        self.arena.live_from(&[self.root()])
+    }
+
+    /// Total nodes interned in the arena, including garbage from past
+    /// edits (see [`compact`](Self::compact)).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Approximate heap bytes of the arena plus the chain's own state —
+    /// what one standalone maintained policy costs, the baseline the
+    /// fleet registry's shared accounting is compared against.
+    pub fn approx_bytes(&self) -> usize {
+        self.arena.approx_bytes() + self.chain.approx_bytes()
+    }
+
+    /// Exports the current diagram as a standalone reduced [`crate::Fdd`]
+    /// — the form the compiled runtime lowers.
+    ///
+    /// # Errors
+    ///
+    /// Never fails after a successful construction or edit (both verify
+    /// comprehensiveness); the `Result` mirrors [`ConsArena::to_fdd`].
+    pub fn to_fdd(&self) -> Result<crate::Fdd, CoreError> {
+        self.arena.to_fdd(self.root())
+    }
+
+    /// Patches the suffix chain and policy under `edits`, applied as one
+    /// coalesced batch (one upward sweep, see [`MaintainStats`]), without
+    /// computing the impact. On error the maintained state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Index/validation errors as for [`Edit::apply`];
+    /// [`CoreError::NotComprehensive`] if the edited policy no longer
+    /// decides every packet.
+    pub fn apply(&mut self, edits: &[Edit]) -> Result<(), CoreError> {
+        self.apply_with_stats(edits).map(|_| ())
+    }
+
+    /// [`apply`](Self::apply), also reporting which [`BatchPlan`] ran and
+    /// the batch's corridor geometry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_with_stats(&mut self, edits: &[Edit]) -> Result<MaintainStats, CoreError> {
+        self.chain.apply_with_stats(&mut self.arena, edits)
+    }
+
+    /// [`apply_with_stats`](Self::apply_with_stats) with the plan forced
+    /// instead of chosen by the crossover heuristic. Both arms produce the
+    /// same diagram (hash-consing makes them intern to the same root); the
+    /// forced form exists so equivalence suites can prove exactly that.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_planned(
+        &mut self,
+        edits: &[Edit],
+        plan: BatchPlan,
+    ) -> Result<MaintainStats, CoreError> {
+        self.chain.apply_planned(&mut self.arena, edits, plan)
     }
 
     /// The exact impact of everything applied since `old_root` (a
@@ -510,19 +668,22 @@ impl MaintainedFdd {
     /// previously returned [`root`](Self::root) snapshots, so only the
     /// batch-level API calls it.
     fn maybe_compact(&mut self) {
-        if self.arena.len() > 4096 && self.arena.len() > 4 * self.arena.live_from(&self.suffix) {
+        if self.arena.len() > 4096
+            && self.arena.len() > 4 * self.arena.live_from(self.chain.suffix_ids())
+        {
             self.compact();
         }
     }
 
     /// Rebuilds the arena keeping only the live chain; past
-    /// [`root`](Self::root) snapshots become invalid and every per-rule
-    /// prepend cache is reset.
+    /// [`root`](Self::root) snapshots become invalid. The per-rule
+    /// prepend caches are remapped through the compaction map
+    /// ([`SuffixChain::remap`]), so they stay warm — edits right after a
+    /// compaction resolve from cache exactly as they would have before.
     pub fn compact(&mut self) {
-        self.arena.compact(&mut self.suffix);
-        for m in &mut self.memos {
-            m.clear();
-        }
+        let mut roots = self.chain.suffix.clone();
+        let map = self.arena.compact_mapped(&mut roots);
+        self.chain.remap(&map);
     }
 }
 
@@ -672,7 +833,7 @@ pub(crate) fn edit_batch_impact(
     let old_root = m.root();
     m.apply(edits)?;
     let impact = m.diff_from(old_root)?;
-    Ok((m.firewall, impact))
+    Ok((m.chain.firewall, impact))
 }
 
 /// The impact of an *edit-shaped* change computed over one hash-consed
@@ -888,6 +1049,96 @@ mod tests {
             rule: flip,
         }])
         .unwrap();
+    }
+
+    /// Regression for the fleet registry's multi-root usage: several
+    /// chains share one arena, a compaction passes *all* their suffix ids
+    /// as roots, every chain remaps — suffixes and prepend memos both —
+    /// and editing one tenant afterwards works while the others' diagrams
+    /// are untouched.
+    #[test]
+    fn shared_arena_compact_remaps_every_chain_and_memo() {
+        let fw_a = paper::team_a();
+        let fw_b = paper::team_b();
+        let mut arena = ConsArena::new(fw_a.schema().clone());
+        let mut a = SuffixChain::build(&mut arena, fw_a.clone()).unwrap();
+        let mut b = SuffixChain::build(&mut arena, fw_b.clone()).unwrap();
+        // Leave garbage behind: flip a rule out and back on one chain.
+        let orig = fw_b.rules()[0].clone();
+        let flip = orig.with_decision(orig.decision().inverted());
+        b.apply_with_stats(
+            &mut arena,
+            &[Edit::Replace {
+                index: 0,
+                rule: flip,
+            }],
+        )
+        .unwrap();
+        b.apply_with_stats(
+            &mut arena,
+            &[Edit::Replace {
+                index: 0,
+                rule: orig,
+            }],
+        )
+        .unwrap();
+        assert!(arena.len() > arena.live_from(&[a.root(), b.root()]));
+
+        let mut roots: Vec<ConsId> = a
+            .suffix_ids()
+            .iter()
+            .chain(b.suffix_ids())
+            .copied()
+            .collect();
+        let map = arena.compact_mapped(&mut roots);
+        a.remap(&map);
+        b.remap(&map);
+
+        // Both tenants' diagrams survive the shared compact intact...
+        for (chain, fw) in [(&a, &fw_a), (&b, &fw_b)] {
+            let fdd = arena.to_fdd(chain.root()).unwrap();
+            for p in fw.witnesses() {
+                assert_eq!(fdd.decision_for(&p), fw.decision_for(&p));
+            }
+        }
+        // ...with warm memos (remapped, not dropped).
+        assert!(a.memos.iter().any(|m| !m.is_empty()));
+        assert!(b.memos.iter().any(|m| !m.is_empty()));
+
+        // Editing one tenant after the compact leaves the other alone.
+        let b_root = b.root();
+        let blocker = Rule::catch_all(fw_a.schema(), Decision::Discard);
+        a.apply_with_stats(
+            &mut arena,
+            &[Edit::Insert {
+                index: 0,
+                rule: blocker.clone(),
+            }],
+        )
+        .unwrap();
+        let expect = fw_a.with_rule_inserted(0, blocker).unwrap();
+        assert_eq!(a.firewall(), &expect);
+        assert_eq!(b.root(), b_root);
+        let fdd_a = arena.to_fdd(a.root()).unwrap();
+        let fdd_b = arena.to_fdd(b.root()).unwrap();
+        for p in expect.witnesses() {
+            assert_eq!(fdd_a.decision_for(&p), expect.decision_for(&p));
+        }
+        for p in fw_b.witnesses() {
+            assert_eq!(fdd_b.decision_for(&p), fw_b.decision_for(&p));
+        }
+    }
+
+    /// A chain whose suffix ids are left out of the compaction root set
+    /// is unrecoverable — `remap` says so loudly instead of corrupting.
+    #[test]
+    #[should_panic(expected = "compaction roots")]
+    fn remap_panics_when_chain_was_not_a_root() {
+        let fw = paper::team_a();
+        let mut arena = ConsArena::new(fw.schema().clone());
+        let mut chain = SuffixChain::build(&mut arena, fw).unwrap();
+        let map = FxMap::default(); // compacted without this chain's roots
+        chain.remap(&map);
     }
 
     #[test]

@@ -153,7 +153,6 @@ pub(crate) fn sorted_spans<T: Copy>(
     edges: &[fw_core::Edge],
     mut resolve: impl FnMut(fw_core::NodeId) -> T,
 ) -> Result<Vec<(u64, u64, T)>, ExecError> {
-    let fd = schema.field(field);
     let mut spans: Vec<(u64, u64, T)> = Vec::new();
     for e in edges {
         let t = resolve(e.target());
@@ -161,6 +160,23 @@ pub(crate) fn sorted_spans<T: Copy>(
             spans.push((iv.lo(), iv.hi(), t));
         }
     }
+    verify_partition(schema, src, field, &mut spans)?;
+    Ok(spans)
+}
+
+/// Sorts `(lo, hi, target)` spans in place and verifies they partition
+/// `field`'s domain — the single check every lowering path funnels
+/// through: full compilation and the splice path via [`sorted_spans`],
+/// and the cross-image shared subgraph pool (`shared.rs`), which builds
+/// its spans from arena [`fw_core::ConsView`] edges instead of [`Fdd`]
+/// edges.
+pub(crate) fn verify_partition<T: Copy>(
+    schema: &Schema,
+    src: impl std::fmt::Display,
+    field: fw_model::FieldId,
+    spans: &mut [(u64, u64, T)],
+) -> Result<(), ExecError> {
+    let fd = schema.field(field);
     spans.sort_unstable_by_key(|s| s.0);
     let mut expect = 0u64;
     for (i, &(lo, hi, _)) in spans.iter().enumerate() {
@@ -184,7 +200,7 @@ pub(crate) fn sorted_spans<T: Copy>(
             )));
         }
     }
-    Ok(spans)
+    Ok(())
 }
 
 /// Emits one internal node from its verified domain-partition spans

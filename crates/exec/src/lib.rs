@@ -41,7 +41,11 @@
 //!   corridor rather than rebuilding from the rule list (see `live.rs`);
 //! * [`CompileStats`] / [`RecompileStats`] — node/arena/depth accounting in
 //!   the style of `fw_core::FddStats`, plus the shared-vs-fresh split of an
-//!   incremental swap.
+//!   incremental swap;
+//! * [`SubgraphPool`] — cross-image shared compilation for fleet serving:
+//!   one pool of compiled nodes keyed by canonical `fw_core::ConsId`, so
+//!   subtrees shared between tenants of a multi-policy registry are
+//!   lowered once and an image is just a root index (see `shared.rs`).
 //!
 //! # Example
 //!
@@ -68,6 +72,7 @@ mod error;
 mod kernel;
 mod live;
 mod recompile;
+mod shared;
 mod wire;
 
 pub use batch::PacketBatch;
@@ -76,3 +81,4 @@ pub use error::ExecError;
 pub use kernel::DEFAULT_LANE_WIDTH;
 pub use live::{LiveMatcher, SwapReport};
 pub use recompile::RecompileStats;
+pub use shared::SubgraphPool;

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use fw_core::{Edit, MaintainStats, MaintainedFdd};
 use fw_model::{Decision, Firewall, Packet};
+use serde::{Deserialize, Serialize};
 
 use crate::{CompiledFdd, ExecError, RecompileStats};
 
@@ -70,8 +71,10 @@ pub struct LiveMatcher {
     epoch: AtomicU64,
 }
 
-/// What one [`LiveMatcher::apply_edits`] call did.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What one [`LiveMatcher::apply_edits`] call did — the per-tenant edit
+/// receipt the fleet registry and `fwfleet` surface, serde-derived so
+/// reporting layers never reach into matcher internals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwapReport {
     /// Whether a new image was published (`false` for a no-op batch — the
     /// old image stays, snapshot-identical).

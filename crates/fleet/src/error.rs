@@ -1,0 +1,83 @@
+//! Fleet-level errors: registry misuse plus everything the wrapped
+//! pipeline layers can report.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::TenantId;
+
+/// Errors from the fleet registry and its persistence layer.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The tenant id is not registered.
+    UnknownTenant(TenantId),
+    /// The tenant id is already registered (remove it first).
+    DuplicateTenant(TenantId),
+    /// A packet does not fit the tenant's schema (wrong arity or a value
+    /// outside its field's domain).
+    InvalidPacket(String),
+    /// An error from the FDD maintenance layer (bad edit index,
+    /// non-comprehensive post-edit policy, schema mismatch).
+    Core(fw_core::CoreError),
+    /// An error from the compiled runtime (lowering invariants, wire
+    /// decode, batch schema mismatch).
+    Exec(fw_exec::ExecError),
+    /// An error from the policy model (parsing persisted rules).
+    Model(fw_model::ModelError),
+    /// An I/O error from the persistence layer.
+    Io(std::io::Error),
+    /// A malformed or inconsistent fleet store (bad manifest, image/rules
+    /// disagreement).
+    Store(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            FleetError::DuplicateTenant(t) => write!(f, "tenant {t} already registered"),
+            FleetError::InvalidPacket(m) => write!(f, "invalid packet: {m}"),
+            FleetError::Core(e) => write!(f, "core error: {e}"),
+            FleetError::Exec(e) => write!(f, "exec error: {e}"),
+            FleetError::Model(e) => write!(f, "model error: {e}"),
+            FleetError::Io(e) => write!(f, "io error: {e}"),
+            FleetError::Store(m) => write!(f, "fleet store error: {m}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Core(e) => Some(e),
+            FleetError::Exec(e) => Some(e),
+            FleetError::Model(e) => Some(e),
+            FleetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fw_core::CoreError> for FleetError {
+    fn from(e: fw_core::CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}
+
+impl From<fw_exec::ExecError> for FleetError {
+    fn from(e: fw_exec::ExecError) -> Self {
+        FleetError::Exec(e)
+    }
+}
+
+impl From<fw_model::ModelError> for FleetError {
+    fn from(e: fw_model::ModelError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

@@ -1,0 +1,972 @@
+//! The multi-tenant policy registry: one serving surface over shared
+//! hash-consed structure.
+//!
+//! Layout: tenants are grouped into **shards**, one per distinct
+//! [`Schema`]. A shard owns one [`ConsArena`] (every tenant diagram in
+//! canonical hash-consed form — equal subfunction ⟺ equal node), one
+//! interned rule store (a rule shared by 10k near-copy policies is stored
+//! once), and one [`SubgraphPool`] (compiled cut arrays and jump tables
+//! deduplicated across tenants by canonical node id). Distinct tenants
+//! with byte-identical policies collapse to a single refcounted policy
+//! entry by content hash, with a full rule-list equality check guarding
+//! against hash collisions.
+//!
+//! Suffix chains are ephemeral (see the crate docs for the measurement
+//! that forced this): `add_tenant`/`apply_edits` build the tenant's chain
+//! in the shared arena, keep the root, and drop the chain. The arena is
+//! compacted opportunistically behind the writer lock once garbage
+//! dominates, with every retained root remapped and the pool's key map
+//! rewritten in place.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
+
+use fw_core::{ChangeImpact, ConsArena, ConsId, Edit, FxHasher, FxMap, MaintainStats, SuffixChain};
+use fw_exec::{PacketBatch, SubgraphPool};
+use fw_model::{Decision, Firewall, Packet, Rule, Schema};
+use serde::{Deserialize, Serialize};
+
+use crate::FleetError;
+
+/// Opaque tenant identifier chosen by the caller.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Only compact once the arena is at least this large: small fleets never
+/// pay remap traffic, and the threshold test below stays cheap.
+const ARENA_COMPACT_FLOOR: usize = 16_384;
+
+/// Compact when fewer than 1 in `ARENA_GARBAGE_FACTOR` arena nodes are
+/// reachable from a retained policy root.
+const ARENA_GARBAGE_FACTOR: usize = 4;
+
+/// Interned rule storage: each distinct [`Rule`] in a shard is stored
+/// exactly once; policies reference rules by dense `u32` id.
+#[derive(Debug, Default)]
+struct RuleStore {
+    rules: Vec<Rule>,
+    /// FxHash of rule → candidate ids (collisions resolved by equality).
+    table: FxMap<u64, Vec<u32>>,
+}
+
+impl RuleStore {
+    fn intern(&mut self, rule: &Rule) -> u32 {
+        let mut h = FxHasher::default();
+        rule.hash(&mut h);
+        let candidates = self.table.entry(h.finish()).or_default();
+        for &id in candidates.iter() {
+            if &self.rules[id as usize] == rule {
+                return id;
+            }
+        }
+        let id = u32::try_from(self.rules.len()).expect("more than u32::MAX distinct rules");
+        self.rules.push(rule.clone());
+        candidates.push(id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &Rule {
+        &self.rules[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn approx_bytes(&self, schema: &Schema) -> usize {
+        let rules: usize = self.rules.iter().map(|r| rule_bytes(schema, r)).sum();
+        let table: usize = self
+            .table
+            .values()
+            .map(|v| 16 + v.capacity() * 4)
+            .sum::<usize>()
+            + self.table.capacity() * 8;
+        rules + table + self.rules.capacity() * std::mem::size_of::<Rule>()
+    }
+}
+
+fn rule_bytes(schema: &Schema, rule: &Rule) -> usize {
+    let mut bytes = std::mem::size_of::<Rule>();
+    for (field, _) in schema.iter() {
+        bytes += rule.predicate().set(field).iter().len() * 16;
+    }
+    bytes
+}
+
+/// Content hash of a policy: schema plus the exact ordered rule list.
+pub(crate) fn policy_hash(firewall: &Firewall) -> u64 {
+    let mut h = FxHasher::default();
+    firewall.schema().hash(&mut h);
+    for rule in firewall.rules() {
+        rule.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One distinct policy within a shard, shared by `refs` tenants.
+#[derive(Debug)]
+struct PolicyEntry {
+    /// Ordered rule list as ids into the shard's [`RuleStore`].
+    rule_ids: Vec<u32>,
+    /// Canonical diagram root in the shard arena.
+    root: ConsId,
+    /// Compiled root index in the shard's [`SubgraphPool`].
+    root_node: u32,
+    /// Number of tenants bound to this policy.
+    refs: usize,
+}
+
+/// All state for one schema: arena + rule store + compiled pool + the
+/// distinct policies over them.
+struct Shard {
+    schema: Schema,
+    arena: ConsArena,
+    pool: SubgraphPool,
+    store: RuleStore,
+    /// Content hash → refcounted policy entry.
+    policies: FxMap<u64, PolicyEntry>,
+    /// Compiled nodes reachable only from removed policy roots; once this
+    /// dominates `pool.node_count()` the pool is rebuilt from live roots.
+    pool_dead: usize,
+}
+
+impl fmt::Debug for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shard")
+            .field("schema_fields", &self.schema.len())
+            .field("arena_nodes", &self.arena.len())
+            .field("pool_nodes", &self.pool.node_count())
+            .field("policies", &self.policies.len())
+            .finish()
+    }
+}
+
+impl Shard {
+    fn new(schema: Schema) -> Shard {
+        Shard {
+            arena: ConsArena::new(schema.clone()),
+            pool: SubgraphPool::new(schema.clone()),
+            schema,
+            store: RuleStore::default(),
+            policies: FxMap::default(),
+            pool_dead: 0,
+        }
+    }
+
+    /// Reconstruct the [`Firewall`] a policy entry denotes.
+    fn firewall_of(&self, hash: u64) -> Firewall {
+        let entry = self
+            .policies
+            .get(&hash)
+            .expect("registry invariant: tenant points at a live policy");
+        let rules: Vec<Rule> = entry
+            .rule_ids
+            .iter()
+            .map(|&id| self.store.get(id).clone())
+            .collect();
+        Firewall::new(self.schema.clone(), rules)
+            .expect("registry invariant: stored policies are valid")
+    }
+
+    /// Check that `firewall` really is the policy stored under `hash`
+    /// (guards content-hash dedup against collisions).
+    fn content_matches(&self, hash: u64, firewall: &Firewall) -> Result<bool, FleetError> {
+        let Some(entry) = self.policies.get(&hash) else {
+            return Ok(false);
+        };
+        let same = entry.rule_ids.len() == firewall.rules().len()
+            && entry
+                .rule_ids
+                .iter()
+                .zip(firewall.rules())
+                .all(|(&id, rule)| self.store.get(id) == rule);
+        if same {
+            Ok(true)
+        } else {
+            Err(FleetError::Store(format!(
+                "policy content hash collision on {hash:#018x}; \
+                 refusing to dedupe distinct policies"
+            )))
+        }
+    }
+
+    /// Bind one more tenant to the policy under `hash`, registering it
+    /// first if absent. `root` must be its canonical arena root.
+    fn attach_policy(
+        &mut self,
+        hash: u64,
+        firewall: &Firewall,
+        root: ConsId,
+    ) -> Result<(), FleetError> {
+        if self.content_matches(hash, firewall)? {
+            let entry = self.policies.get_mut(&hash).expect("checked above");
+            debug_assert_eq!(entry.root, root, "equal content must hash-cons to one root");
+            entry.refs += 1;
+            return Ok(());
+        }
+        let rule_ids = firewall
+            .rules()
+            .iter()
+            .map(|r| self.store.intern(r))
+            .collect();
+        let root_node = self.pool.ensure(&self.arena, root)?;
+        self.policies.insert(
+            hash,
+            PolicyEntry {
+                rule_ids,
+                root,
+                root_node,
+                refs: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Unbind one tenant from the policy under `hash`, dropping the entry
+    /// when the last reference goes away.
+    fn release_policy(&mut self, hash: u64) {
+        let entry = self
+            .policies
+            .get_mut(&hash)
+            .expect("registry invariant: released policies exist");
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            let entry = self.policies.remove(&hash).expect("present above");
+            // The compiled subtree may be shared with live policies, so
+            // `reachable` over-counts garbage; that only makes the rebuild
+            // trigger early, never late.
+            self.pool_dead += self.pool.reachable(entry.root_node);
+        }
+    }
+
+    /// Compact the arena if garbage dominates: every live policy root is a
+    /// compaction root, and the pool's ConsId→node map is rewritten with
+    /// the returned old→new map so serving continues without recompiling.
+    fn maybe_compact_arena(&mut self) {
+        if self.arena.len() < ARENA_COMPACT_FLOOR {
+            return;
+        }
+        let roots: Vec<ConsId> = self.policies.values().map(|e| e.root).collect();
+        if self.arena.len() <= ARENA_GARBAGE_FACTOR * self.arena.live_from(&roots) {
+            return;
+        }
+        self.compact_arena();
+    }
+
+    fn compact_arena(&mut self) {
+        let mut roots: Vec<ConsId> = self.policies.values().map(|e| e.root).collect();
+        let map = self.arena.compact_mapped(&mut roots);
+        for entry in self.policies.values_mut() {
+            entry.root = *map
+                .get(&entry.root)
+                .expect("every live policy root was passed as a compaction root");
+        }
+        self.pool.remap_keys(&map);
+    }
+
+    /// Rebuild the compiled pool from live roots once dead compiled nodes
+    /// dominate. Deferred (not per-removal) to stay amortised O(live).
+    fn maybe_rebuild_pool(&mut self) -> Result<(), FleetError> {
+        if self.pool_dead == 0 || 2 * self.pool_dead <= self.pool.node_count() {
+            return Ok(());
+        }
+        let mut pool = SubgraphPool::new(self.schema.clone());
+        for entry in self.policies.values_mut() {
+            entry.root_node = pool.ensure(&self.arena, entry.root)?;
+        }
+        self.pool = pool;
+        self.pool_dead = 0;
+        Ok(())
+    }
+
+    /// Drop rules no live policy references, renumbering `rule_ids`.
+    fn rebuild_store(&mut self) {
+        let old = std::mem::take(&mut self.store);
+        for entry in self.policies.values_mut() {
+            for id in &mut entry.rule_ids {
+                *id = self.store.intern(old.get(*id));
+            }
+        }
+    }
+
+    fn validate_packet(&self, packet: &Packet) -> Result<(), FleetError> {
+        if packet.len() != self.schema.len() {
+            return Err(FleetError::InvalidPacket(format!(
+                "expected {} fields, got {}",
+                self.schema.len(),
+                packet.len()
+            )));
+        }
+        for (field, def) in self.schema.iter() {
+            let v = packet.values()[field.index()];
+            if v > def.max() {
+                return Err(FleetError::InvalidPacket(format!(
+                    "field {} value {v} exceeds domain max {}",
+                    def.name(),
+                    def.max()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let entries: usize = self
+            .policies
+            .values()
+            .map(|e| std::mem::size_of::<PolicyEntry>() + e.rule_ids.capacity() * 4 + 16)
+            .sum();
+        self.arena.approx_bytes()
+            + self.pool.approx_bytes()
+            + self.store.approx_bytes(&self.schema)
+            + entries
+    }
+}
+
+/// A tenant's binding: which shard, which policy, and a serving epoch that
+/// bumps whenever an edit batch changes the tenant's observable function.
+#[derive(Debug, Clone, Copy)]
+struct TenantState {
+    shard: usize,
+    hash: u64,
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shards: Vec<Shard>,
+    tenants: FxMap<TenantId, TenantState>,
+}
+
+impl Inner {
+    fn shard_for(&mut self, schema: &Schema) -> usize {
+        if let Some(i) = self.shards.iter().position(|s| &s.schema == schema) {
+            return i;
+        }
+        self.shards.push(Shard::new(schema.clone()));
+        self.shards.len() - 1
+    }
+
+    fn state(&self, tenant: TenantId) -> Result<TenantState, FleetError> {
+        self.tenants
+            .get(&tenant)
+            .copied()
+            .ok_or(FleetError::UnknownTenant(tenant))
+    }
+}
+
+/// Receipt for one tenant's edit batch, mirroring
+/// [`fw_exec::SwapReport`] with fleet bookkeeping attached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditReceipt {
+    /// The edited tenant.
+    pub tenant: TenantId,
+    /// Whether the tenant's observable function changed (epoch bumped).
+    pub swapped: bool,
+    /// The tenant's serving epoch after the batch.
+    pub epoch: u64,
+    /// Exact count of packets whose decision the batch changed.
+    pub affected_packets: u128,
+    /// Maintenance statistics from the suffix-chain batch apply.
+    pub maintain: MaintainStats,
+    /// Whether the post-edit policy collapsed onto another fleet policy
+    /// (content dedup), so the tenant now shares that image.
+    pub merged: bool,
+}
+
+/// A point-in-time summary of registry occupancy and sharing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Distinct policies after content dedup (≤ `tenants`).
+    pub distinct_policies: usize,
+    /// Schema shards.
+    pub shards: usize,
+    /// Total arena nodes, including not-yet-compacted garbage.
+    pub arena_nodes: usize,
+    /// Arena nodes reachable from some live policy root.
+    pub arena_live_nodes: usize,
+    /// Compiled nodes in the shared pools.
+    pub pool_nodes: usize,
+    /// Distinct interned rules across all shards.
+    pub distinct_rules: usize,
+    /// Approximate resident bytes of all shared structure plus the
+    /// tenant table.
+    pub approx_bytes: usize,
+}
+
+impl FleetStats {
+    /// Approximate bytes per registered tenant (total / tenants).
+    pub fn bytes_per_tenant(&self) -> usize {
+        self.approx_bytes / self.tenants.max(1)
+    }
+}
+
+/// A thread-safe registry serving classification for a fleet of tenant
+/// policies out of shared hash-consed structure.
+///
+/// See the crate docs for the design; in short, per schema the registry
+/// keeps one arena, one interned rule store and one compiled subgraph
+/// pool, and identical policies collapse to one refcounted entry. Reads
+/// ([`classify`](PolicyRegistry::classify),
+/// [`classify_batch`](PolicyRegistry::classify_batch), [`stats`](PolicyRegistry::stats))
+/// take a shared lock; mutations serialise on the writer lock.
+#[derive(Debug, Default)]
+pub struct PolicyRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl PolicyRegistry {
+    /// Create an empty registry.
+    pub fn new() -> PolicyRegistry {
+        PolicyRegistry::default()
+    }
+
+    /// Register `tenant` with `policy`. Returns `true` when the policy
+    /// deduplicated onto an already-registered identical policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateTenant`] if the id is taken;
+    /// [`FleetError::Core`] if the policy is not comprehensive.
+    pub fn add_tenant(&self, tenant: TenantId, policy: Firewall) -> Result<bool, FleetError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        if inner.tenants.contains_key(&tenant) {
+            return Err(FleetError::DuplicateTenant(tenant));
+        }
+        let shard_idx = inner.shard_for(policy.schema());
+        let shard = &mut inner.shards[shard_idx];
+        let hash = policy_hash(&policy);
+        let deduped = shard.content_matches(hash, &policy)?;
+        if deduped {
+            let entry = shard.policies.get_mut(&hash).expect("matched above");
+            entry.refs += 1;
+        } else {
+            // Ephemeral chain: build in the shared arena, keep the root.
+            let chain = SuffixChain::build(&mut shard.arena, policy.clone())?;
+            let root = chain.root();
+            drop(chain);
+            shard.attach_policy(hash, &policy, root)?;
+            shard.maybe_compact_arena();
+        }
+        inner.tenants.insert(
+            tenant,
+            TenantState {
+                shard: shard_idx,
+                hash,
+                epoch: 0,
+            },
+        );
+        Ok(deduped)
+    }
+
+    /// Unregister `tenant`, releasing its policy reference.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownTenant`] if the id is not registered.
+    pub fn remove_tenant(&self, tenant: TenantId) -> Result<(), FleetError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let state = inner.state(tenant)?;
+        inner.tenants.remove(&tenant);
+        let shard = &mut inner.shards[state.shard];
+        shard.release_policy(state.hash);
+        shard.maybe_compact_arena();
+        shard.maybe_rebuild_pool()?;
+        Ok(())
+    }
+
+    /// Classify one packet against `tenant`'s policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownTenant`] for unregistered ids;
+    /// [`FleetError::InvalidPacket`] when the packet does not fit the
+    /// tenant's schema.
+    pub fn classify(&self, tenant: TenantId, packet: &Packet) -> Result<Decision, FleetError> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let state = guard.state(tenant)?;
+        let shard = &guard.shards[state.shard];
+        shard.validate_packet(packet)?;
+        let entry = shard
+            .policies
+            .get(&state.hash)
+            .expect("registry invariant: tenant points at a live policy");
+        Ok(shard.pool.classify(entry.root_node, packet))
+    }
+
+    /// Classify a whole batch against `tenant`'s policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](PolicyRegistry::classify); the batch schema must
+    /// match the tenant's schema exactly.
+    pub fn classify_batch(
+        &self,
+        tenant: TenantId,
+        batch: &PacketBatch,
+    ) -> Result<Vec<Decision>, FleetError> {
+        let mut out = Vec::new();
+        self.classify_batch_into(tenant, batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`classify_batch`](PolicyRegistry::classify_batch) into a caller
+    /// buffer (cleared first), for allocation-free steady-state serving.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify_batch`](PolicyRegistry::classify_batch).
+    pub fn classify_batch_into(
+        &self,
+        tenant: TenantId,
+        batch: &PacketBatch,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), FleetError> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let state = guard.state(tenant)?;
+        let shard = &guard.shards[state.shard];
+        let entry = shard
+            .policies
+            .get(&state.hash)
+            .expect("registry invariant: tenant points at a live policy");
+        shard
+            .pool
+            .classify_columns_into(entry.root_node, batch, out)?;
+        Ok(())
+    }
+
+    /// Apply an edit batch to `tenant`'s policy through the maintained
+    /// suffix-chain path, returning a receipt with exact impact.
+    ///
+    /// The tenant's chain is rebuilt in the shared arena (hash-consing
+    /// reproduces its stored root), the batch applies through the
+    /// coalesced maintenance sweep, and the new root is diffed against the
+    /// old one for the exact affected-packet count. If the post-edit
+    /// policy equals another fleet policy, the tenant merges onto that
+    /// entry (`merged` in the receipt). Other tenants sharing the old
+    /// policy are unaffected — the edit forks, never mutates in place.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownTenant`] for unregistered ids;
+    /// [`FleetError::Core`] for invalid edits (bad index, post-edit policy
+    /// not comprehensive) — the tenant is unchanged in that case.
+    pub fn apply_edits(&self, tenant: TenantId, edits: &[Edit]) -> Result<EditReceipt, FleetError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let state = inner.state(tenant)?;
+        let shard = &mut inner.shards[state.shard];
+        let old_root = shard
+            .policies
+            .get(&state.hash)
+            .expect("registry invariant: tenant points at a live policy")
+            .root;
+
+        // Rebuild the ephemeral chain; hash-consing guarantees the rebuilt
+        // root is bit-identical to the stored one.
+        let firewall = shard.firewall_of(state.hash);
+        let mut chain = SuffixChain::build(&mut shard.arena, firewall)?;
+        debug_assert_eq!(chain.root(), old_root);
+        let maintain = chain.apply_with_stats(&mut shard.arena, edits)?;
+        let new_root = chain.root();
+        let new_firewall = chain.firewall().clone();
+        drop(chain);
+
+        let impact = ChangeImpact::from_discrepancies(shard.arena.diff(old_root, new_root)?);
+        let swapped = !impact.is_noop();
+        let affected_packets = impact.affected_packets_in(new_firewall.schema());
+
+        let new_hash = policy_hash(&new_firewall);
+        let merged = if new_hash == state.hash {
+            // Textually identical policy (e.g. replace-with-same); nothing
+            // to rebind. `swapped` is necessarily false here.
+            false
+        } else {
+            let merged = shard.content_matches(new_hash, &new_firewall)?;
+            // Attach before release so a failure leaves the tenant bound.
+            shard.attach_policy(new_hash, &new_firewall, new_root)?;
+            shard.release_policy(state.hash);
+            merged
+        };
+        shard.maybe_compact_arena();
+        shard.maybe_rebuild_pool()?;
+
+        let epoch = if swapped {
+            state.epoch + 1
+        } else {
+            state.epoch
+        };
+        inner.tenants.insert(
+            tenant,
+            TenantState {
+                shard: state.shard,
+                hash: new_hash,
+                epoch,
+            },
+        );
+        Ok(EditReceipt {
+            tenant,
+            swapped,
+            epoch,
+            affected_packets,
+            maintain,
+            merged,
+        })
+    }
+
+    /// Reconstruct `tenant`'s current policy as a standalone [`Firewall`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownTenant`] for unregistered ids.
+    pub fn policy(&self, tenant: TenantId) -> Result<Firewall, FleetError> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let state = guard.state(tenant)?;
+        Ok(guard.shards[state.shard].firewall_of(state.hash))
+    }
+
+    /// The tenant's serving epoch: bumps exactly when an edit batch
+    /// changes its observable function.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownTenant`] for unregistered ids.
+    pub fn epoch(&self, tenant: TenantId) -> Result<u64, FleetError> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        Ok(guard.state(tenant)?.epoch)
+    }
+
+    /// All registered tenant ids, in ascending order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut ids: Vec<TenantId> = guard.tenants.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Occupancy and sharing summary.
+    pub fn stats(&self) -> FleetStats {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut stats = FleetStats {
+            tenants: guard.tenants.len(),
+            distinct_policies: 0,
+            shards: guard.shards.len(),
+            arena_nodes: 0,
+            arena_live_nodes: 0,
+            pool_nodes: 0,
+            distinct_rules: 0,
+            approx_bytes: guard.tenants.len()
+                * (std::mem::size_of::<(TenantId, TenantState)>() + 16),
+        };
+        for shard in &guard.shards {
+            let roots: Vec<ConsId> = shard.policies.values().map(|e| e.root).collect();
+            stats.distinct_policies += shard.policies.len();
+            stats.arena_nodes += shard.arena.len();
+            stats.arena_live_nodes += shard.arena.live_from(&roots);
+            stats.pool_nodes += shard.pool.node_count();
+            stats.distinct_rules += shard.store.len();
+            stats.approx_bytes += shard.approx_bytes();
+        }
+        stats
+    }
+
+    /// Force full maintenance on every shard: arena compaction (all live
+    /// roots retained, pool keys remapped), compiled-pool rebuild from
+    /// live roots, and rule-store garbage collection.
+    ///
+    /// Never required for correctness — the same work runs incrementally
+    /// behind mutation thresholds — but useful before
+    /// [`save_fleet`](crate::save_fleet) or a stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Exec`] if pool recompilation fails (registry
+    /// invariants make this unreachable in practice).
+    pub fn maintenance(&self) -> Result<(), FleetError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        for shard in &mut guard.shards {
+            shard.compact_arena();
+            // Rebuild unconditionally: maintenance is the explicit "make
+            // it minimal" entry point.
+            let mut pool = SubgraphPool::new(shard.schema.clone());
+            for entry in shard.policies.values_mut() {
+                entry.root_node = pool.ensure(&shard.arena, entry.root)?;
+            }
+            shard.pool = pool;
+            shard.pool_dead = 0;
+            shard.rebuild_store();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_model::paper;
+
+    fn packets(schema: &Schema, seed: u64, n: usize) -> Vec<Packet> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                let values = schema
+                    .iter()
+                    .map(|(_, def)| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state % (def.max() + 1)
+                    })
+                    .collect();
+                Packet::new(values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_policies_dedupe_and_serve_identically() {
+        let registry = PolicyRegistry::new();
+        assert!(!registry.add_tenant(TenantId(1), paper::team_a()).unwrap());
+        assert!(registry.add_tenant(TenantId(2), paper::team_a()).unwrap());
+        assert!(!registry.add_tenant(TenantId(3), paper::team_b()).unwrap());
+
+        let stats = registry.stats();
+        assert_eq!(stats.tenants, 3);
+        assert_eq!(stats.distinct_policies, 2);
+        assert_eq!(stats.shards, 1, "team_a and team_b share a schema");
+
+        let a = paper::team_a();
+        for p in packets(a.schema(), 7, 500) {
+            let d1 = registry.classify(TenantId(1), &p).unwrap();
+            assert_eq!(d1, registry.classify(TenantId(2), &p).unwrap());
+            assert_eq!(d1, a.decision_for(&p).unwrap());
+            assert_eq!(
+                registry.classify(TenantId(3), &p).unwrap(),
+                paper::team_b().decision_for(&p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tenants_error() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        assert!(matches!(
+            registry.add_tenant(TenantId(1), paper::team_b()),
+            Err(FleetError::DuplicateTenant(TenantId(1)))
+        ));
+        assert!(matches!(
+            registry.classify(TenantId(9), &Packet::new(vec![0; 5])),
+            Err(FleetError::UnknownTenant(TenantId(9)))
+        ));
+        assert!(matches!(
+            registry.remove_tenant(TenantId(9)),
+            Err(FleetError::UnknownTenant(TenantId(9)))
+        ));
+    }
+
+    #[test]
+    fn invalid_packets_are_rejected() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        assert!(matches!(
+            registry.classify(TenantId(1), &Packet::new(vec![0, 1])),
+            Err(FleetError::InvalidPacket(_))
+        ));
+        let schema = Schema::paper_example();
+        let mut values = vec![0u64; schema.len()];
+        values[0] = 2; // interface is 1-bit
+        assert!(matches!(
+            registry.classify(TenantId(1), &Packet::new(values)),
+            Err(FleetError::InvalidPacket(_))
+        ));
+    }
+
+    #[test]
+    fn edits_fork_shared_policies_and_bump_epochs() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        registry.add_tenant(TenantId(2), paper::team_a()).unwrap();
+        assert_eq!(registry.stats().distinct_policies, 1);
+
+        // Flip rule 0's decision on tenant 1 only.
+        let rules = paper::team_a().rules().to_vec();
+        let flipped = rules[0].with_decision(match rules[0].decision() {
+            Decision::Accept => Decision::Discard,
+            _ => Decision::Accept,
+        });
+        let receipt = registry
+            .apply_edits(
+                TenantId(1),
+                &[Edit::Replace {
+                    index: 0,
+                    rule: flipped,
+                }],
+            )
+            .unwrap();
+        assert!(receipt.swapped);
+        assert!(!receipt.merged);
+        assert_eq!(receipt.epoch, 1);
+        assert!(receipt.affected_packets > 0);
+        assert_eq!(registry.epoch(TenantId(1)).unwrap(), 1);
+        assert_eq!(registry.epoch(TenantId(2)).unwrap(), 0);
+        assert_eq!(registry.stats().distinct_policies, 2);
+
+        // Tenant 2 still serves the original policy.
+        let a = paper::team_a();
+        let edited = registry.policy(TenantId(1)).unwrap();
+        let mut saw_difference = false;
+        let mut probes = packets(a.schema(), 99, 400);
+        probes.extend(a.witnesses());
+        probes.extend(edited.witnesses());
+        for p in probes {
+            assert_eq!(
+                registry.classify(TenantId(2), &p).unwrap(),
+                a.decision_for(&p).unwrap()
+            );
+            let d1 = registry.classify(TenantId(1), &p).unwrap();
+            assert_eq!(d1, edited.decision_for(&p).unwrap());
+            saw_difference |= d1 != a.decision_for(&p).unwrap();
+        }
+        assert!(saw_difference, "flip must be observable on witnesses");
+
+        // Editing tenant 1 back merges it onto tenant 2's entry.
+        let receipt = registry
+            .apply_edits(
+                TenantId(1),
+                &[Edit::Replace {
+                    index: 0,
+                    rule: rules[0].clone(),
+                }],
+            )
+            .unwrap();
+        assert!(receipt.swapped);
+        assert!(receipt.merged, "identical content must dedupe");
+        assert_eq!(receipt.epoch, 2);
+        assert_eq!(registry.stats().distinct_policies, 1);
+    }
+
+    #[test]
+    fn noop_edit_batches_do_not_bump_epochs() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        let rule = paper::team_a().rules()[0].clone();
+        let receipt = registry
+            .apply_edits(TenantId(1), &[Edit::Replace { index: 0, rule }])
+            .unwrap();
+        assert!(!receipt.swapped);
+        assert!(!receipt.merged);
+        assert_eq!(receipt.epoch, 0);
+        assert_eq!(receipt.affected_packets, 0);
+    }
+
+    #[test]
+    fn remove_and_maintenance_reclaim_structure() {
+        let registry = PolicyRegistry::new();
+        let base = fw_synth::Synthesizer::new(11).firewall(60);
+        let fleet = fw_synth::perturb_fleet(&base, 12, 10, 5);
+        for (i, fw) in fleet.iter().enumerate() {
+            registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+        }
+        let before = registry.stats();
+        for i in 1..12 {
+            registry.remove_tenant(TenantId(i)).unwrap();
+        }
+        registry.maintenance().unwrap();
+        let after = registry.stats();
+        assert_eq!(after.tenants, 1);
+        assert_eq!(after.distinct_policies, 1);
+        assert!(after.arena_nodes < before.arena_nodes);
+        assert_eq!(after.arena_nodes, after.arena_live_nodes);
+        assert!(after.pool_nodes <= before.pool_nodes);
+        assert!(after.distinct_rules <= before.distinct_rules);
+
+        // The survivor still serves correctly after full maintenance.
+        for p in packets(base.schema(), 3, 300) {
+            assert_eq!(
+                registry.classify(TenantId(0), &p).unwrap(),
+                fleet[0].decision_for(&p).unwrap()
+            );
+        }
+
+        // And it can still be edited (arena/pool remaps kept it live).
+        let receipt = registry
+            .apply_edits(TenantId(0), &[Edit::Remove { index: 0 }])
+            .unwrap();
+        assert_eq!(receipt.epoch, u64::from(receipt.swapped));
+        let expected = registry.policy(TenantId(0)).unwrap();
+        for p in packets(base.schema(), 4, 200) {
+            assert_eq!(
+                registry.classify(TenantId(0), &p).unwrap(),
+                expected.decision_for(&p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_classification_matches_scalar() {
+        let registry = PolicyRegistry::new();
+        let base = fw_synth::Synthesizer::new(21).firewall(40);
+        registry.add_tenant(TenantId(1), base.clone()).unwrap();
+        let pkts = packets(base.schema(), 17, 256);
+        let batch = PacketBatch::from_columns(
+            base.schema().clone(),
+            (0..base.schema().len())
+                .map(|f| pkts.iter().map(|p| p.values()[f]).collect::<Vec<u64>>())
+                .collect(),
+        )
+        .unwrap();
+        let decisions = registry.classify_batch(TenantId(1), &batch).unwrap();
+        assert_eq!(decisions.len(), pkts.len());
+        for (p, d) in pkts.iter().zip(&decisions) {
+            assert_eq!(*d, registry.classify(TenantId(1), p).unwrap());
+        }
+    }
+
+    #[test]
+    fn fleet_sharing_beats_sum_of_parts() {
+        // 32 perturbed variants of one policy: shared arena live size must
+        // be well under 32 standalone diagrams.
+        let base = fw_synth::Synthesizer::new(31).firewall(80);
+        let fleet = fw_synth::perturb_fleet(&base, 32, 5, 9);
+        let registry = PolicyRegistry::new();
+        for (i, fw) in fleet.iter().enumerate() {
+            registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+        }
+        registry.maintenance().unwrap();
+        let stats = registry.stats();
+
+        let standalone: usize = fleet
+            .iter()
+            .map(|fw| {
+                let mut arena = ConsArena::new(fw.schema().clone());
+                let chain = SuffixChain::build(&mut arena, fw.clone()).unwrap();
+                let mut roots = [chain.root()];
+                arena.compact(&mut roots);
+                arena.len()
+            })
+            .sum();
+        assert!(
+            stats.arena_live_nodes * 2 < standalone,
+            "shared {} vs standalone-sum {}",
+            stats.arena_live_nodes,
+            standalone
+        );
+        // Rule interning: 32 near-copies of an 80-rule policy must not
+        // store 32×80 distinct rules.
+        assert!(stats.distinct_rules < 2 * base.len() + 8 * 32);
+    }
+}

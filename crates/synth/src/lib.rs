@@ -42,6 +42,6 @@ mod trace;
 pub use evolve::{evolve, EvolutionProfile, EvolutionStep};
 pub use generator::{SynthProfile, Synthesizer};
 pub use inject::{inject_errors, InjectedError, InjectionOutcome};
-pub use perturb::perturb;
+pub use perturb::{perturb, perturb_fleet};
 pub use real_life::{documented_firewall, university_average, university_large};
 pub use trace::PacketTrace;

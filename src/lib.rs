@@ -22,6 +22,7 @@
 //! | [`synth`] | `fw-synth` | evaluation workloads: synthetic policies, Fig. 12 perturbation, §8.1 error injection, packet traces |
 //! | [`bdd`] | `fw-bdd` | the §7.5 baseline: a from-scratch ROBDD engine and bit-level policy diffing |
 //! | [`exec`] | `fw-exec` | compiled packet-classification runtime: flat-arena matcher, batch classify, wire format |
+//! | [`fleet`] | `fw-fleet` | multi-tenant fleet serving: policy registry with cross-tenant structural sharing, FWEX fleet persistence |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use fw_bdd as bdd;
 pub use fw_core as core;
 pub use fw_diverse as diverse;
 pub use fw_exec as exec;
+pub use fw_fleet as fleet;
 pub use fw_gen as gen;
 pub use fw_model as model;
 pub use fw_synth as synth;

@@ -1,0 +1,285 @@
+//! Equivalence oracle for multi-tenant fleet serving: for every tenant,
+//! the shared [`PolicyRegistry`] must classify exactly as (a) a
+//! standalone [`LiveMatcher`] built from the same policy and (b) the
+//! plain FDD walk — the registry's cross-tenant structural sharing
+//! (hash-consed arena, interned rules, deduplicated compiled pool) must
+//! be invisible to semantics. Probed on random perturbed fleets, through
+//! interleaved per-tenant edit batches (each tenant's registry epoch and
+//! receipt checked against its standalone matcher's swap report), and
+//! exhaustively on every packet of a tiny 2-field schema.
+
+use diverse_firewall::core::{Edit, Fdd};
+use diverse_firewall::exec::LiveMatcher;
+use diverse_firewall::fleet::{PolicyRegistry, TenantId};
+use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Rule, Schema};
+use diverse_firewall::synth::{evolve, perturb_fleet, EvolutionProfile, PacketTrace, Synthesizer};
+use proptest::prelude::*;
+
+/// Probe packets: random plus rule-region-biased, as in the other
+/// agreement oracles.
+fn probes(fw: &Firewall, n: usize, seed: u64) -> Vec<Packet> {
+    let random = PacketTrace::random(fw.schema().clone(), n, seed);
+    let biased = PacketTrace::biased(fw, n, 0.3, seed + 1);
+    random
+        .packets()
+        .iter()
+        .chain(biased.packets())
+        .cloned()
+        .collect()
+}
+
+fn edits_for(fw: &Firewall, k: usize, seed: u64) -> Vec<Edit> {
+    evolve(fw, k, &EvolutionProfile::default(), seed)
+        .into_iter()
+        .map(|s| s.edit)
+        .collect()
+}
+
+/// The three-way check for one tenant on one probe set.
+fn assert_tenant_agrees(
+    registry: &PolicyRegistry,
+    tenant: TenantId,
+    standalone: &LiveMatcher,
+    packets: &[Packet],
+    tag: &str,
+) {
+    let policy = standalone.policy();
+    let fdd = Fdd::from_firewall_fast(&policy).unwrap();
+    assert_eq!(
+        registry.policy(tenant).unwrap().to_dsl(),
+        policy.to_dsl(),
+        "{tag}: registry reconstructs a different policy"
+    );
+    for p in packets {
+        let shared = registry.classify(tenant, p).unwrap();
+        assert_eq!(
+            shared,
+            standalone.classify(p),
+            "{tag}: registry diverges from standalone LiveMatcher at {p}"
+        );
+        assert_eq!(
+            shared,
+            fdd.evaluate(p),
+            "{tag}: registry diverges from FDD walk at {p}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: a registry hosting a random perturbed fleet serves every
+    /// tenant exactly as that tenant's standalone matcher and FDD, and
+    /// keeps doing so through interleaved per-tenant edit batches whose
+    /// receipts must mirror the standalone swap reports.
+    #[test]
+    fn registry_equals_standalone_through_interleaved_edits(
+        seed in 0u64..10_000,
+        rules in 4usize..24,
+        tenants in 2usize..6,
+        edit_seed in 0u64..1_000,
+    ) {
+        let base = Synthesizer::new(seed).firewall(rules);
+        let fleet = perturb_fleet(&base, tenants, 10, seed);
+        let registry = PolicyRegistry::new();
+        let mut standalone = Vec::new();
+        for (i, fw) in fleet.iter().enumerate() {
+            registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+            standalone.push(LiveMatcher::new(fw.clone()).unwrap());
+        }
+
+        let packets = probes(&base, 48, seed ^ 0xfeed);
+        for (i, m) in standalone.iter().enumerate() {
+            assert_tenant_agrees(&registry, TenantId(i as u64), m, &packets, "fresh fleet");
+        }
+
+        // Interleave edit batches across tenants: each round edits every
+        // tenant once (round-robin), checking receipts and then the full
+        // three-way agreement for EVERY tenant — an edit to one tenant
+        // must never disturb another's serving.
+        for round in 0..2u64 {
+            for (i, m) in standalone.iter().enumerate() {
+                let tenant = TenantId(i as u64);
+                let edits = edits_for(
+                    &m.policy(),
+                    1 + (round as usize + i) % 3,
+                    edit_seed ^ (round << 8) ^ i as u64,
+                );
+                let report = m.apply_edits(&edits).unwrap();
+                let receipt = registry.apply_edits(tenant, &edits).unwrap();
+                prop_assert_eq!(
+                    receipt.swapped, report.swapped,
+                    "swap verdicts diverge on round {} tenant {}", round, i
+                );
+                prop_assert_eq!(
+                    receipt.affected_packets, report.affected_packets,
+                    "affected-packet counts diverge on round {} tenant {}", round, i
+                );
+                prop_assert_eq!(receipt.epoch, registry.epoch(tenant).unwrap());
+            }
+            let packets = probes(&base, 32, edit_seed ^ round);
+            for (i, m) in standalone.iter().enumerate() {
+                assert_tenant_agrees(
+                    &registry,
+                    TenantId(i as u64),
+                    m,
+                    &packets,
+                    &format!("after round {round}"),
+                );
+            }
+        }
+    }
+
+    /// Property: batch classification through the shared pool equals
+    /// scalar classification for every tenant of a perturbed fleet.
+    #[test]
+    fn batch_serving_equals_scalar(
+        seed in 0u64..10_000,
+        rules in 4usize..20,
+        tenants in 2usize..5,
+    ) {
+        let base = Synthesizer::new(seed).firewall(rules);
+        let fleet = perturb_fleet(&base, tenants, 15, seed);
+        let registry = PolicyRegistry::new();
+        for (i, fw) in fleet.iter().enumerate() {
+            registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+        }
+        let trace = PacketTrace::random(base.schema().clone(), 96, seed ^ 0xbeef);
+        let batch = diverse_firewall::exec::PacketBatch::from_trace(
+            base.schema().clone(),
+            trace.packets(),
+        )
+        .unwrap();
+        for i in 0..tenants {
+            let tenant = TenantId(i as u64);
+            let batched = registry.classify_batch(tenant, &batch).unwrap();
+            prop_assert_eq!(batched.len(), trace.len());
+            for (p, d) in trace.packets().iter().zip(&batched) {
+                prop_assert_eq!(*d, registry.classify(tenant, p).unwrap());
+            }
+        }
+    }
+}
+
+/// Exhaustive sweep on a tiny 2-field/3-bit schema (64 packets): every
+/// packet, every tenant, before and after an edit forks one tenant away
+/// from its dedup partner.
+#[test]
+fn exhaustive_small_schema_sweep() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let all_packets: Vec<Packet> = (0..8u64)
+        .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+        .collect();
+
+    // Three hand-built policies over the tiny schema; p0 == p1 textually
+    // so the registry dedupes them onto one image.
+    let parse = |text: &str| Firewall::parse(schema.clone(), text).unwrap();
+    let p0 = parse("a=0-3 -> accept\n* -> discard\n");
+    let p1 = parse("a=0-3 -> accept\n* -> discard\n");
+    let p2 = parse("b=2-5 -> discard\na=1 -> discard\n* -> accept\n");
+
+    let registry = PolicyRegistry::new();
+    registry.add_tenant(TenantId(0), p0.clone()).unwrap();
+    assert!(registry.add_tenant(TenantId(1), p1.clone()).unwrap());
+    registry.add_tenant(TenantId(2), p2.clone()).unwrap();
+
+    let matchers = [
+        LiveMatcher::new(p0).unwrap(),
+        LiveMatcher::new(p1).unwrap(),
+        LiveMatcher::new(p2).unwrap(),
+    ];
+    for (i, m) in matchers.iter().enumerate() {
+        assert_tenant_agrees(&registry, TenantId(i as u64), m, &all_packets, "exhaustive");
+    }
+
+    // Fork tenant 1 off the shared image: flip the catch-all to accept-log.
+    let fork = Edit::Replace {
+        index: 1,
+        rule: Rule::catch_all(&schema, Decision::AcceptLog),
+    };
+    let report = matchers[1]
+        .apply_edits(std::slice::from_ref(&fork))
+        .unwrap();
+    let receipt = registry
+        .apply_edits(TenantId(1), std::slice::from_ref(&fork))
+        .unwrap();
+    assert!(receipt.swapped);
+    assert_eq!(receipt.affected_packets, report.affected_packets);
+    assert!(!receipt.merged);
+    assert_eq!(registry.stats().distinct_policies, 3);
+
+    // Exhaustive again: tenant 0 must still serve the original policy,
+    // tenants 1 and 2 their own.
+    for (i, m) in matchers.iter().enumerate() {
+        assert_tenant_agrees(&registry, TenantId(i as u64), m, &all_packets, "post-fork");
+    }
+
+    // Edit tenant 1 straight back: content dedup must re-merge it onto
+    // tenant 0's entry, and the exhaustive sweep must still hold.
+    let back = Edit::Replace {
+        index: 1,
+        rule: Rule::catch_all(&schema, Decision::Discard),
+    };
+    matchers[1]
+        .apply_edits(std::slice::from_ref(&back))
+        .unwrap();
+    let receipt = registry
+        .apply_edits(TenantId(1), std::slice::from_ref(&back))
+        .unwrap();
+    assert!(
+        receipt.merged,
+        "identical content must dedupe onto the live entry"
+    );
+    assert_eq!(registry.stats().distinct_policies, 2);
+    for (i, m) in matchers.iter().enumerate() {
+        assert_tenant_agrees(&registry, TenantId(i as u64), m, &all_packets, "re-merged");
+    }
+}
+
+/// Removing tenants and compacting must never change any surviving
+/// tenant's decisions (regression for shared-arena compaction).
+#[test]
+fn surviving_tenants_are_stable_across_removal_and_maintenance() {
+    let base = Synthesizer::new(77).firewall(30);
+    let fleet = perturb_fleet(&base, 10, 10, 77);
+    let registry = PolicyRegistry::new();
+    for (i, fw) in fleet.iter().enumerate() {
+        registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+    }
+    let packets = probes(&base, 64, 123);
+    let before: Vec<Vec<Decision>> = (0..10)
+        .map(|i| {
+            packets
+                .iter()
+                .map(|p| registry.classify(TenantId(i), p).unwrap())
+                .collect()
+        })
+        .collect();
+    for i in (0..10).step_by(2) {
+        registry.remove_tenant(TenantId(i)).unwrap();
+    }
+    registry.maintenance().unwrap();
+    for i in (1..10).step_by(2) {
+        let after: Vec<Decision> = packets
+            .iter()
+            .map(|p| registry.classify(TenantId(i), p).unwrap())
+            .collect();
+        assert_eq!(after, before[i as usize], "tenant {i} drifted");
+    }
+    // Survivors can still take edits after the sweep.
+    let receipt = registry
+        .apply_edits(TenantId(1), &[Edit::Remove { index: 0 }])
+        .unwrap();
+    let expected = registry.policy(TenantId(1)).unwrap();
+    for p in &packets {
+        assert_eq!(
+            registry.classify(TenantId(1), p).unwrap(),
+            expected.decision_for(p).unwrap()
+        );
+    }
+    assert_eq!(receipt.epoch, u64::from(receipt.swapped));
+}
