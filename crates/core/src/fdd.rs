@@ -448,6 +448,40 @@ impl Fdd {
         }
     }
 
+    /// [`Fdd::evaluate`] over a bare value slice in schema order, without
+    /// the [`Packet`] wrapper — lets batch engines replay a column layout
+    /// through the walk by gathering one packet's values into a reused
+    /// buffer instead of materialising row packets.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Fdd::evaluate`].
+    pub fn evaluate_values(&self, values: &[u64]) -> Decision {
+        assert_eq!(
+            values.len(),
+            self.schema.len(),
+            "value arity {} does not match schema arity {}",
+            values.len(),
+            self.schema.len()
+        );
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Terminal(d) => return *d,
+                Node::Internal { field, edges } => {
+                    let v = values[field.index()];
+                    let e = edges
+                        .iter()
+                        .find(|e| e.label.contains(v))
+                        .unwrap_or_else(|| {
+                            panic!("value {v} of {field} escapes every edge label at {id}")
+                        });
+                    id = e.target;
+                }
+            }
+        }
+    }
+
     /// Visits every decision path as `(predicate, decision)`; fields absent
     /// from a path are reported as their full domains, exactly as the paper
     /// defines the rule of a decision path (§2).

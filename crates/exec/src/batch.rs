@@ -130,6 +130,13 @@ impl PacketBatch {
         &self.columns[f]
     }
 
+    /// All value columns at once (`columns()[f][i]` = packet `i`'s value
+    /// for field `f`), for kernels that index columns by absolute packet
+    /// position instead of borrowing one column at a time.
+    pub(crate) fn columns_raw(&self) -> &[Vec<u64>] {
+        &self.columns
+    }
+
     /// Reassembles packet `i` (row-major), for spot checks and error
     /// reporting.
     ///

@@ -15,6 +15,7 @@
 //! larger than its node count.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 use fw_core::{Fdd, NodeView};
 use fw_model::{Decision, Firewall, Packet, Schema};
@@ -83,6 +84,11 @@ pub struct CompileStats {
     /// Number of BFS levels (contiguous arena ranges the lane kernel
     /// streams through); at most `max_depth + 1`.
     pub levels: usize,
+    /// Engine choice picked by the last calibration pass
+    /// ([`CompiledFdd::calibrate`]); `None` for an uncalibrated image.
+    /// Machine- and trace-local, so the FWEX wire format never carries it
+    /// — decode leaves it `None` and serving surfaces recalibrate on load.
+    pub calibrated: Option<crate::calibrate::EngineChoice>,
 }
 
 /// A firewall decision diagram lowered to a flat, cache-friendly matcher.
@@ -90,7 +96,7 @@ pub struct CompileStats {
 /// Build one with [`CompiledFdd::compile`] (from an existing [`Fdd`]) or
 /// [`CompiledFdd::from_firewall`] (construct, reduce, lower). See the crate
 /// docs for the runtime surface.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CompiledFdd {
     pub(crate) schema: Schema,
     pub(crate) root: u32,
@@ -104,9 +110,30 @@ pub struct CompiledFdd {
     /// BFS of the image.
     pub(crate) level_starts: Vec<u32>,
     /// Search-only mirror of the arenas that the lane kernel runs on;
-    /// derived (never serialized) — see `kernel.rs`.
-    pub(crate) lanes: crate::kernel::LaneArena,
+    /// derived, never serialized — see `kernel.rs`. Built eagerly by the
+    /// compile/recompile paths but left empty by `decode`, where it fills
+    /// on first lane use via [`CompiledFdd::lane_arena`]: a fleet restore
+    /// that only ever walks the scalar path never pays the mirror build.
+    pub(crate) lanes: OnceLock<crate::kernel::LaneArena>,
     pub(crate) stats: CompileStats,
+}
+
+/// Matcher equality is over the canonical image — schema, root, the four
+/// arenas, level table, and stats. The lane mirror is excluded: it is a
+/// deterministic function of those arenas, so two equal matchers always
+/// mirror identically, and comparing it would make equality depend on
+/// whether the lazily-built mirror has been forced yet.
+impl PartialEq for CompiledFdd {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.root == other.root
+            && self.nodes == other.nodes
+            && self.cuts == other.cuts
+            && self.cut_targets == other.cut_targets
+            && self.jump == other.jump
+            && self.level_starts == other.level_starts
+            && self.stats == other.stats
+    }
 }
 
 /// Branchless lower bound: index of the first cut `>= v`. The loop body is
@@ -346,7 +373,12 @@ impl CompiledFdd {
         }
 
         let level_starts = build_level_starts(&nodes);
-        let lanes = crate::kernel::LaneArena::build(&nodes, &cuts, &cut_targets, &jump);
+        let lanes = OnceLock::from(crate::kernel::LaneArena::build(
+            &nodes,
+            &cuts,
+            &cut_targets,
+            &jump,
+        ));
         let mut compiled = CompiledFdd {
             schema,
             root: 0,
@@ -388,6 +420,19 @@ impl CompiledFdd {
     /// Number of compiled nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The lane kernel's search-only mirror, built on first use.
+    ///
+    /// Compile and recompile populate it eagerly (the splice path needs the
+    /// old mirror anyway); a decoded image defers the build until a lane or
+    /// auto classify actually runs, so scalar-only serving — e.g. a fleet
+    /// restore of thousands of tenants — never pays it. `OnceLock` makes
+    /// the deferred build race-free under concurrent readers.
+    pub(crate) fn lane_arena(&self) -> &crate::kernel::LaneArena {
+        self.lanes.get_or_init(|| {
+            crate::kernel::LaneArena::build(&self.nodes, &self.cuts, &self.cut_targets, &self.jump)
+        })
     }
 
     /// The matcher's inner loop over a value slice in schema order.
@@ -463,7 +508,10 @@ impl CompiledFdd {
     /// ordered-FDD property (targets test strictly later fields), which
     /// compilation preserves and decoding verifies.
     pub(crate) fn compute_stats(&self) -> CompileStats {
-        let lane_arena_bytes = self.lanes.bytes();
+        // Projected, not measured, so stats don't depend on (or force) the
+        // lazily-built mirror; `projected_bytes` is proven equal to the
+        // built size in `kernel.rs` tests.
+        let lane_arena_bytes = crate::kernel::LaneArena::projected_bytes(&self.nodes, &self.jump);
         let mut stats = CompileStats {
             nodes: self.nodes.len(),
             cut_points: self.cuts.len(),

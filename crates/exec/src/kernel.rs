@@ -39,6 +39,21 @@
 //!   pass's descriptor reads move monotonically through the arena
 //!   (`CompiledFdd::level_starts` records the level ranges, re-validated on
 //!   decode).
+//! * **Zero steady-state allocation.** The chunk's mutable state — the
+//!   per-lane node cursors — lives in a caller-owned [`LaneScratch`], and
+//!   the kernel reads field columns through an absolute span offset instead
+//!   of materialising per-chunk column slices, so a serving loop that
+//!   reuses its scratch and output buffer touches the allocator only until
+//!   both reach their high-water mark.
+//! * **Software prefetch (parallel path).** The multi-core driver
+//!   (`par.rs`) enables a prefetch variant of the chunk body: after a lane
+//!   resolves its next node, the kernel touches that node's descriptor and
+//!   the head of its cut slice through [`std::hint::black_box`] — a
+//!   portable forced load under `forbid(unsafe_code)`, no intrinsics. With
+//!   `lane_width` independent lanes between one lane's prefetch and its
+//!   next use, the touched lines are warm by the time the next pass reads
+//!   them, which is exactly the memory-behaviour lever Hazelhurst's
+//!   analysis says dominates decision-diagram lookup cost.
 //!
 //! Within a pass the per-lane steps are fully independent, so the core
 //! overlaps many packets' loads; across the lane the uniform body is
@@ -60,6 +75,27 @@ use crate::{CompiledFdd, ExecError, PacketBatch};
 /// bookkeeping too often.
 pub const DEFAULT_LANE_WIDTH: usize = 32;
 
+/// Reusable scratch state for the lane kernel: the per-lane node-cursor
+/// frontier of the chunk in flight.
+///
+/// [`CompiledFdd::classify_lanes_into`] takes one of these so a serving
+/// loop allocates nothing per batch once the scratch (and the caller's
+/// output buffer) reach their high-water mark; the parallel driver keeps
+/// one per worker. A scratch is engine-agnostic — the same instance can
+/// serve any matcher and any lane width, growing as needed.
+#[derive(Debug, Default, Clone)]
+pub struct LaneScratch {
+    /// Node cursor per lane; length tracks the current chunk width.
+    pub(crate) state: Vec<u32>,
+}
+
+impl LaneScratch {
+    /// A fresh scratch. Allocates nothing until first use.
+    pub fn new() -> LaneScratch {
+        LaneScratch::default()
+    }
+}
+
 /// One node of the uniform kernel arena: always a cut search, never a jump
 /// table or an explicit terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,9 +116,10 @@ pub(crate) struct KNode {
 const PAD_MAX_BITS: u32 = 8;
 
 /// The search-only mirror of a compiled matcher that the lane kernel runs
-/// on. Derived deterministically from the canonical arenas at compile and
-/// decode time; never serialized (the FWEX image stays in the canonical
-/// three-arena form).
+/// on. Derived deterministically from the canonical arenas — eagerly at
+/// compile time, lazily on first lane use after a wire decode (see
+/// [`CompiledFdd::lane_arena`]); never serialized (the FWEX image stays in
+/// the canonical three-arena form).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct LaneArena {
     pub(crate) nodes: Vec<KNode>,
@@ -212,13 +249,54 @@ impl LaneArena {
         arena
     }
 
-    /// Bytes of the mirrored arena, for [`CompileStats`] accounting.
-    ///
-    /// [`CompileStats`]: crate::CompileStats
+    /// Bytes of the mirrored arena — the ground truth
+    /// [`LaneArena::projected_bytes`] is tested against. Stats use the
+    /// projection so they never force (or depend on) the lazy build.
+    #[cfg(test)]
     pub(crate) fn bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<KNode>()
             + self.cuts.len() * 8
             + self.targets.len() * 4
+    }
+
+    /// Bytes [`LaneArena::build`] over these canonical arenas *would*
+    /// occupy, computed without building (one streaming shape scan, no
+    /// allocation). Stats use this so a lazily-mirrored image reports the
+    /// same `lane_arena_bytes` as an eagerly-mirrored one.
+    pub(crate) fn projected_bytes(nodes: &[NodeDesc], jump: &[u32]) -> usize {
+        let mut max_len = 1usize;
+        let mut total = 0usize;
+        for n in nodes {
+            // Mirrored cut count per node, mirroring `mirror_node`'s
+            // shapes: terminals one self-loop cut, jump tables one cut per
+            // constant run, search nodes their own cut count.
+            let len = match n.kind {
+                KIND_TERMINAL => 1,
+                KIND_JUMP => {
+                    let table = &jump[n.off as usize..(n.off + n.len) as usize];
+                    let mut runs = 0usize;
+                    let mut prev = None;
+                    for &t in table {
+                        if prev != Some(t) {
+                            runs += 1;
+                            prev = Some(t);
+                        }
+                    }
+                    runs
+                }
+                _ => n.len as usize,
+            };
+            max_len = max_len.max(len);
+            total += len;
+        }
+        let bits = usize::BITS - max_len.leading_zeros();
+        let pad_to = LaneArena::pad_to(bits);
+        let slots = if pad_to > 0 {
+            nodes.len() * pad_to
+        } else {
+            total
+        };
+        nodes.len() * std::mem::size_of::<KNode>() + slots * 12
     }
 }
 
@@ -242,12 +320,14 @@ impl CompiledFdd {
         lane_width: usize,
     ) -> Result<Vec<Decision>, ExecError> {
         let mut out = Vec::new();
-        self.classify_lanes_into(batch, lane_width, &mut out)?;
+        self.classify_lanes_into(batch, lane_width, &mut LaneScratch::new(), &mut out)?;
         Ok(out)
     }
 
     /// Like [`CompiledFdd::classify_lanes`], into a caller-provided buffer
-    /// (cleared first).
+    /// (cleared first), with caller-owned [`LaneScratch`] — zero heap
+    /// allocation per batch once scratch and buffer hit their high-water
+    /// marks.
     ///
     /// # Errors
     ///
@@ -256,6 +336,7 @@ impl CompiledFdd {
         &self,
         batch: &PacketBatch,
         lane_width: usize,
+        scratch: &mut LaneScratch,
         out: &mut Vec<Decision>,
     ) -> Result<(), ExecError> {
         if lane_width == 0 {
@@ -269,68 +350,113 @@ impl CompiledFdd {
         }
         out.clear();
         out.resize(batch.len(), Decision::Discard);
-        let mut state: Vec<u32> = Vec::with_capacity(lane_width.min(batch.len()));
-        let mut cols: Vec<&[u64]> = Vec::with_capacity(self.schema().len());
-        let mut start = 0;
-        while start < batch.len() {
-            let w = lane_width.min(batch.len() - start);
-            cols.clear();
-            cols.extend((0..self.schema().len()).map(|f| &batch.column(f)[start..start + w]));
+        self.lanes_span::<false>(
+            self.lane_arena(),
+            batch.columns_raw(),
+            0,
+            lane_width,
+            &mut scratch.state,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Runs the lane kernel over the packet span `[start, start +
+    /// out.len())` of `columns`, writing decisions into `out` in packet
+    /// order. The serial path covers the whole batch in one span; the
+    /// parallel driver (`par.rs`) hands each worker a disjoint span and the
+    /// matching disjoint slice of the output buffer, which is what makes
+    /// the merged result byte-identical to serial by construction.
+    ///
+    /// `arena` is the forced lane mirror (callers resolve
+    /// [`CompiledFdd::lane_arena`] once, outside any worker); the `PF`
+    /// parameter selects the forced-load chunk variant. Assumes validated
+    /// inputs.
+    pub(crate) fn lanes_span<const PF: bool>(
+        &self,
+        arena: &LaneArena,
+        columns: &[Vec<u64>],
+        start: usize,
+        lane_width: usize,
+        state: &mut Vec<u32>,
+        out: &mut [Decision],
+    ) {
+        let n = out.len();
+        let mut s = 0usize;
+        while s < n {
+            let w = lane_width.min(n - s);
+            let base = start + s;
             // Monomorphise on the trip count so the bitwise search unrolls
             // into straight-line conditional moves — the whole point of
             // fixing the count arena-wide. Eight bits cover 256 cuts; wider
             // nodes (unbounded rule sets) take the generic-loop fallback.
-            match self.lanes.bits {
-                1 => self.lanes_chunk::<1>(&cols, w, &mut state),
-                2 => self.lanes_chunk::<2>(&cols, w, &mut state),
-                3 => self.lanes_chunk::<3>(&cols, w, &mut state),
-                4 => self.lanes_chunk::<4>(&cols, w, &mut state),
-                5 => self.lanes_chunk::<5>(&cols, w, &mut state),
-                6 => self.lanes_chunk::<6>(&cols, w, &mut state),
-                7 => self.lanes_chunk::<7>(&cols, w, &mut state),
-                8 => self.lanes_chunk::<8>(&cols, w, &mut state),
-                b => self.lanes_chunk_any(b, &cols, w, &mut state),
+            match arena.bits {
+                1 => self.lanes_chunk::<1, PF>(arena, columns, base, w, state),
+                2 => self.lanes_chunk::<2, PF>(arena, columns, base, w, state),
+                3 => self.lanes_chunk::<3, PF>(arena, columns, base, w, state),
+                4 => self.lanes_chunk::<4, PF>(arena, columns, base, w, state),
+                5 => self.lanes_chunk::<5, PF>(arena, columns, base, w, state),
+                6 => self.lanes_chunk::<6, PF>(arena, columns, base, w, state),
+                7 => self.lanes_chunk::<7, PF>(arena, columns, base, w, state),
+                8 => self.lanes_chunk::<8, PF>(arena, columns, base, w, state),
+                b => self.lanes_chunk_any::<PF>(b, arena, columns, base, w, state),
             }
-            for (cursor, slot) in state.iter().zip(&mut out[start..start + w]) {
-                let n = self.nodes[*cursor as usize];
+            for (cursor, slot) in state.iter().zip(&mut out[s..s + w]) {
+                let nd = self.nodes[*cursor as usize];
                 debug_assert!(
-                    n.kind == KIND_TERMINAL,
+                    nd.kind == KIND_TERMINAL,
                     "lane stopped on an internal node after max_depth passes"
                 );
-                *slot = decision_from_u16(n.field);
+                *slot = decision_from_u16(nd.field);
             }
-            start += w;
+            s += w;
         }
-        Ok(())
     }
 
     /// Runs one chunk of `w` lanes level-synchronously to completion:
     /// exactly `max_depth` uniform passes (the verified longest
     /// root-to-decision walk, so every cursor ends on a — possibly
-    /// self-looped — terminal). `cols` holds the chunk's slice of every
-    /// field column; `state` is the reused node-cursor scratch, left
-    /// holding the final terminal per lane.
-    fn lanes_chunk<const BITS: u32>(&self, cols: &[&[u64]], w: usize, state: &mut Vec<u32>) {
-        let arena = &self.lanes;
+    /// self-looped — terminal). Lane `l` reads packet `base + l` of the
+    /// full field columns; `state` is the reused node-cursor scratch, left
+    /// holding the final terminal per lane. With `PF` the resolved target's
+    /// descriptor and cut-slice head are force-loaded (prefetched) a full
+    /// chunk-round before the next pass dereferences them.
+    fn lanes_chunk<const BITS: u32, const PF: bool>(
+        &self,
+        arena: &LaneArena,
+        columns: &[Vec<u64>],
+        base: usize,
+        w: usize,
+        state: &mut Vec<u32>,
+    ) {
         state.clear();
         state.resize(w, self.root);
         for _pass in 0..self.stats.max_depth {
             for (l, cursor) in state.iter_mut().enumerate() {
                 let n = arena.nodes[*cursor as usize];
-                let v = cols[n.field as usize][l];
+                let v = columns[n.field as usize][base + l];
                 let node_cuts = &arena.cuts[n.off as usize..n.off as usize + (1 << BITS)];
                 // Branchless lower bound over the padded power-of-two cut
                 // slice: BITS halvings, each one load + compare +
                 // conditional add, no clamping and no length in sight.
-                // `base` ends on the first cut `>= v` (somewhere in the
+                // `pos` ends on the first cut `>= v` (somewhere in the
                 // duplicate pad for values past the node's real cuts, where
                 // the duplicated target makes the landing spot irrelevant).
-                let mut base = 0usize;
+                let mut pos = 0usize;
                 for i in 0..BITS {
                     let half = 1usize << (BITS - 1 - i);
-                    base += usize::from(node_cuts[base + half - 1] < v) * half;
+                    pos += usize::from(node_cuts[pos + half - 1] < v) * half;
                 }
-                *cursor = arena.targets[n.off as usize + base];
+                let t = arena.targets[n.off as usize + pos];
+                if PF {
+                    // Portable prefetch: force-load the next node's
+                    // descriptor and the head of its cut slice so the lines
+                    // are warm when the next pass returns to this lane
+                    // (terminals self-loop, so the touch is always in
+                    // bounds). `black_box` keeps the otherwise-dead loads.
+                    std::hint::black_box(arena.cuts[arena.nodes[t as usize].off as usize]);
+                }
+                *cursor = t;
             }
         }
     }
@@ -338,14 +464,21 @@ impl CompiledFdd {
     /// Runtime-trip-count fallback of [`CompiledFdd::lanes_chunk`] for
     /// arenas whose widest node exceeds 2^8 cuts. Identical semantics;
     /// the search loop just cannot unroll.
-    fn lanes_chunk_any(&self, bits: u32, cols: &[&[u64]], w: usize, state: &mut Vec<u32>) {
-        let arena = &self.lanes;
+    fn lanes_chunk_any<const PF: bool>(
+        &self,
+        bits: u32,
+        arena: &LaneArena,
+        columns: &[Vec<u64>],
+        base: usize,
+        w: usize,
+        state: &mut Vec<u32>,
+    ) {
         state.clear();
         state.resize(w, self.root);
         for _pass in 0..self.stats.max_depth {
             for (l, cursor) in state.iter_mut().enumerate() {
                 let n = arena.nodes[*cursor as usize];
-                let v = cols[n.field as usize][l];
+                let v = columns[n.field as usize][base + l];
                 let len = n.len as usize;
                 let node_cuts = &arena.cuts[n.off as usize..n.off as usize + len];
                 let mut pos = 0usize;
@@ -356,7 +489,11 @@ impl CompiledFdd {
                     pos |= if take { bit } else { 0 };
                     bit >>= 1;
                 }
-                *cursor = arena.targets[n.off as usize + pos];
+                let t = arena.targets[n.off as usize + pos];
+                if PF {
+                    std::hint::black_box(arena.cuts[arena.nodes[t as usize].off as usize]);
+                }
+                *cursor = t;
             }
         }
     }
@@ -392,13 +529,66 @@ mod tests {
         let compiled = CompiledFdd::from_firewall(&fw).unwrap();
         let batch = batch_of(&fw, 100, 3);
         let mut out = vec![Decision::AcceptLog; 7];
+        let mut scratch = LaneScratch::new();
         compiled
-            .classify_lanes_into(&batch, DEFAULT_LANE_WIDTH, &mut out)
+            .classify_lanes_into(&batch, DEFAULT_LANE_WIDTH, &mut scratch, &mut out)
             .unwrap();
         assert_eq!(out, compiled.classify_columns(&batch).unwrap());
         let empty = PacketBatch::from_trace(fw.schema().clone(), &[]).unwrap();
-        compiled.classify_lanes_into(&empty, 4, &mut out).unwrap();
+        compiled
+            .classify_lanes_into(&empty, 4, &mut scratch, &mut out)
+            .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_and_prefetch_variant_match_plain_kernel() {
+        let fw = fw_synth::Synthesizer::new(41).firewall(35);
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let mut scratch = LaneScratch::new();
+        let mut out = Vec::new();
+        for n in [5usize, 64, 101] {
+            let batch = batch_of(&fw, n, 7_000 + n as u64);
+            let expect = compiled.classify_columns(&batch).unwrap();
+            // Same scratch across batches of different sizes and widths.
+            for width in [4usize, 16, 33] {
+                compiled
+                    .classify_lanes_into(&batch, width, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, expect, "n={n}, width={width}");
+                // Prefetch chunk variant over the same span: identical
+                // decisions (it only adds forced loads).
+                let mut pf_out = vec![Decision::Discard; n];
+                compiled.lanes_span::<true>(
+                    compiled.lane_arena(),
+                    batch.columns_raw(),
+                    0,
+                    width,
+                    &mut scratch.state,
+                    &mut pf_out,
+                );
+                assert_eq!(pf_out, expect, "prefetch n={n}, width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_offsets_cover_partial_windows() {
+        let fw = fw_synth::Synthesizer::new(19).firewall(30);
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let batch = batch_of(&fw, 97, 13);
+        let expect = compiled.classify_columns(&batch).unwrap();
+        let arena = compiled.lane_arena();
+        let mut state = Vec::new();
+        // Stitch the batch from unaligned disjoint spans, exactly as the
+        // parallel driver does.
+        let mut got = vec![Decision::Discard; 97];
+        for (start, len) in [(0usize, 30usize), (30, 7), (37, 41), (78, 19)] {
+            let (_, tail) = got.split_at_mut(start);
+            let (slice, _) = tail.split_at_mut(len);
+            compiled.lanes_span::<false>(arena, batch.columns_raw(), start, 16, &mut state, slice);
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]
@@ -432,7 +622,7 @@ mod tests {
     fn mirror_arena_is_search_only_and_self_consistent() {
         let fw = fw_synth::Synthesizer::new(3).firewall(30);
         let compiled = CompiledFdd::from_firewall(&fw).unwrap();
-        let arena = &compiled.lanes;
+        let arena = compiled.lane_arena();
         assert_eq!(arena.nodes.len(), compiled.nodes.len());
         assert_eq!(arena.cuts.len(), arena.targets.len());
         assert!(arena.bits >= 1);
@@ -454,5 +644,24 @@ mod tests {
                 assert_eq!((real, arena.targets[off]), (&[u64::MAX][..], i as u32));
             }
         }
+    }
+
+    #[test]
+    fn projected_bytes_match_built_bytes() {
+        for seed in [3u64, 8, 77] {
+            let fw = fw_synth::Synthesizer::new(seed).firewall(30);
+            let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+            assert_eq!(
+                LaneArena::projected_bytes(&compiled.nodes, &compiled.jump),
+                compiled.lane_arena().bytes(),
+                "seed {seed}"
+            );
+        }
+        let fw = paper::team_a();
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        assert_eq!(
+            LaneArena::projected_bytes(&compiled.nodes, &compiled.jump),
+            compiled.lane_arena().bytes()
+        );
     }
 }

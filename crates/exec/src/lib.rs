@@ -67,18 +67,25 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+mod calibrate;
 mod compile;
 mod error;
 mod kernel;
 mod live;
+mod par;
 mod recompile;
 mod shared;
 mod wire;
 
 pub use batch::PacketBatch;
+pub use calibrate::{
+    calibrate, Calibration, EngineChoice, EngineKind, EngineScratch, EngineTable, Trial,
+    CALIBRATE_LANE_WIDTHS, CALIBRATE_SAMPLE,
+};
 pub use compile::{CompileStats, CompiledFdd, JUMP_TABLE_MAX_BITS};
 pub use error::ExecError;
-pub use kernel::DEFAULT_LANE_WIDTH;
+pub use kernel::{LaneScratch, DEFAULT_LANE_WIDTH};
 pub use live::{LiveMatcher, SwapReport};
+pub use par::ParScratch;
 pub use recompile::RecompileStats;
 pub use shared::SubgraphPool;

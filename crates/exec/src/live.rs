@@ -18,6 +18,13 @@
 //! in a definite order; the [`epoch`](LiveMatcher::epoch) counter ticks
 //! once per published image for cheap change detection.
 //!
+//! Batch serving routes through the adaptive engine: the published
+//! snapshot pairs the compiled image with the source diagram it was
+//! lowered from, so [`LiveMatcher::calibrate`] can race every engine —
+//! pointer walk included — over a live traffic sample and install the
+//! winner, and [`LiveMatcher::classify_auto_into`] serves each batch
+//! through that choice against one coherent snapshot.
+//!
 //! The write path is incremental end to end: the matcher keeps the
 //! policy's FDD **maintained** between edits ([`MaintainedFdd`] — the
 //! hash-consed suffix chain of fw-core), so an edit batch patches the
@@ -29,11 +36,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use fw_core::{Edit, MaintainStats, MaintainedFdd};
+use fw_core::{Edit, Fdd, MaintainStats, MaintainedFdd};
 use fw_model::{Decision, Firewall, Packet};
 use serde::{Deserialize, Serialize};
 
-use crate::{CompiledFdd, ExecError, RecompileStats};
+use crate::calibrate::{Calibration, EngineChoice, EngineScratch};
+use crate::{CompiledFdd, ExecError, PacketBatch, RecompileStats};
 
 /// A served firewall: the authoritative policy plus the hot-swappable
 /// compiled image, with edits applied through change-impact analysis and
@@ -63,9 +71,19 @@ pub struct LiveMatcher {
     /// edits; the mutex serializes writers across the whole edit pipeline
     /// (readers never touch it).
     policy: Mutex<MaintainedFdd>,
-    /// The published image. Readers only clone the `Arc` under the read
-    /// lock; classification happens entirely on the clone.
-    image: RwLock<Arc<CompiledFdd>>,
+    /// The published image paired with the source diagram it was lowered
+    /// from — swapped together, atomically, so the auto engine's walk
+    /// choice always replays the same semantics the compiled image serves.
+    /// Readers only clone the `Arc`s under the read lock; classification
+    /// happens entirely on the clones.
+    image: RwLock<(Arc<CompiledFdd>, Arc<Fdd>)>,
+    /// The calibrated engine choice batches route through
+    /// ([`LiveMatcher::classify_auto_into`]); starts at
+    /// [`EngineChoice::default`] until [`LiveMatcher::calibrate`] runs.
+    /// Matcher-level rather than image-level, so it survives edit swaps —
+    /// an edit rarely changes the image's performance shape, and the
+    /// caller can recalibrate whenever it does.
+    choice: RwLock<EngineChoice>,
     /// Ticks once per published image (a rejected or no-op edit batch does
     /// not tick).
     epoch: AtomicU64,
@@ -101,11 +119,13 @@ impl LiveMatcher {
     ///
     /// As for [`CompiledFdd::from_firewall`].
     pub fn new(policy: Firewall) -> Result<LiveMatcher, ExecError> {
-        let image = CompiledFdd::from_firewall(&policy)?;
         let maintained = MaintainedFdd::new(policy)?;
+        let fdd = maintained.to_fdd()?;
+        let image = CompiledFdd::compile(&fdd)?;
         Ok(LiveMatcher {
             policy: Mutex::new(maintained),
-            image: RwLock::new(Arc::new(image)),
+            image: RwLock::new((Arc::new(image), Arc::new(fdd))),
+            choice: RwLock::new(EngineChoice::default()),
             epoch: AtomicU64::new(0),
         })
     }
@@ -115,7 +135,64 @@ impl LiveMatcher {
     /// swaps; long-lived serving loops should hold one and
     /// [`load`](Self::load) again at batch boundaries.
     pub fn load(&self) -> Arc<CompiledFdd> {
-        Arc::clone(&self.image.read().unwrap_or_else(PoisonError::into_inner))
+        Arc::clone(&self.image.read().unwrap_or_else(PoisonError::into_inner).0)
+    }
+
+    /// The current image together with the source diagram it was lowered
+    /// from — the pair the auto engine serves against. Both pointers come
+    /// from the same published snapshot, so a concurrent swap can never
+    /// hand back an image and a diagram with different semantics.
+    pub fn load_pair(&self) -> (Arc<CompiledFdd>, Arc<Fdd>) {
+        let guard = self.image.read().unwrap_or_else(PoisonError::into_inner);
+        (Arc::clone(&guard.0), Arc::clone(&guard.1))
+    }
+
+    /// The engine choice [`classify_auto_into`](Self::classify_auto_into)
+    /// currently routes through.
+    pub fn engine_choice(&self) -> EngineChoice {
+        *self.choice.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Races every engine over a sample of `batch` against the current
+    /// snapshot (walk included — the matcher keeps the source diagram on
+    /// hand) and installs the winner for
+    /// [`classify_auto_into`](Self::classify_auto_into). Pass `rows` when
+    /// the serving loop also has the row-major trace, so the scalar and
+    /// walk-over-rows candidates race too; `max_threads = 0` means "all
+    /// available cores".
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::calibrate`]: schema mismatch or an empty batch.
+    pub fn calibrate(
+        &self,
+        batch: &PacketBatch,
+        rows: Option<&[Packet]>,
+        max_threads: usize,
+    ) -> Result<Calibration, ExecError> {
+        let (image, fdd) = self.load_pair();
+        let cal = crate::calibrate::calibrate(&image, Some(&fdd), rows, batch, max_threads)?;
+        *self.choice.write().unwrap_or_else(PoisonError::into_inner) = cal.choice;
+        Ok(cal)
+    }
+
+    /// Classifies a batch through the calibrated engine choice against the
+    /// current snapshot. One snapshot per call — the whole batch decides
+    /// under a single image even if an edit swaps mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// As for the underlying kernels: schema mismatch between `batch` and
+    /// the served image.
+    pub fn classify_auto_into(
+        &self,
+        batch: &PacketBatch,
+        scratch: &mut EngineScratch,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ExecError> {
+        let (image, fdd) = self.load_pair();
+        self.engine_choice()
+            .classify_into(&image, Some(&fdd), None, batch, scratch, out)
     }
 
     /// The current epoch: 0 at construction, +1 per published image.
@@ -170,7 +247,8 @@ impl LiveMatcher {
         let fdd = policy.to_fdd()?;
         let current = self.load();
         let (next, stats) = current.recompile(&fdd, &impact)?;
-        *self.image.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        *self.image.write().unwrap_or_else(PoisonError::into_inner) =
+            (Arc::new(next), Arc::new(fdd));
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         Ok(SwapReport {
             swapped: true,
@@ -286,6 +364,70 @@ mod tests {
             }])
             .unwrap();
         assert!(report.affected_packets <= space);
+    }
+
+    /// The auto path must agree with the plain column kernel under every
+    /// installed choice, and a swap mid-stream must not wedge the pair:
+    /// after an edit, auto decisions follow the *new* semantics.
+    #[test]
+    fn auto_serving_follows_the_calibrated_choice_across_swaps() {
+        let fw = fw_synth::Synthesizer::new(5).firewall(40);
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), 600, 11);
+        let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+        let mut scratch = EngineScratch::default();
+        let mut auto = Vec::new();
+
+        // Default choice (no calibration yet) already serves correctly.
+        live.classify_auto_into(&batch, &mut scratch, &mut auto)
+            .unwrap();
+        assert_eq!(auto, live.load().classify_columns(&batch).unwrap());
+
+        // Calibration installs a winner and serving still agrees.
+        let cal = live.calibrate(&batch, Some(trace.packets()), 2).unwrap();
+        assert_eq!(live.engine_choice(), cal.choice);
+        assert!(!cal.trials.is_empty());
+        live.classify_auto_into(&batch, &mut scratch, &mut auto)
+            .unwrap();
+        assert_eq!(auto, live.load().classify_columns(&batch).unwrap());
+
+        // Force every kind through the live pair — the stored diagram must
+        // replay the image's semantics for the walk choice in particular.
+        let (image, fdd) = live.load_pair();
+        let expect = image.classify_columns(&batch).unwrap();
+        for kind in [
+            crate::EngineKind::Walk,
+            crate::EngineKind::Scalar,
+            crate::EngineKind::Columns,
+            crate::EngineKind::Lanes,
+        ] {
+            let choice = EngineChoice {
+                kind,
+                ..EngineChoice::default()
+            };
+            let mut got = Vec::new();
+            choice
+                .classify_into(&image, Some(&fdd), None, &batch, &mut scratch, &mut got)
+                .unwrap();
+            assert_eq!(got, expect, "kind {kind:?} disagrees through the live pair");
+        }
+
+        // Swap, then serve again: the auto path follows the new image and
+        // the new diagram together.
+        let flip = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: 0,
+                rule: flip,
+            }])
+            .unwrap();
+        assert!(report.swapped);
+        live.classify_auto_into(&batch, &mut scratch, &mut auto)
+            .unwrap();
+        let after_fw = live.policy();
+        for (p, d) in trace.packets().iter().zip(&auto) {
+            assert_eq!(Some(*d), after_fw.decision_for(p));
+        }
     }
 
     #[test]

@@ -524,14 +524,17 @@ impl CompiledFdd {
         // Lane-mirror splice: reused nodes copy their padded slice (targets
         // renumbered), fresh nodes are mirrored individually. Only possible
         // while the arena-wide padding width is unchanged; a new widest
-        // node (or a narrower new maximum) forces a rebuild.
+        // node (or a narrower new maximum) forces a rebuild. The old
+        // mirror is forced here if a decode left it lazy — the splice
+        // copies its slices either way.
+        let old_lanes = self.lane_arena();
         let knode_bytes = std::mem::size_of::<KNode>();
         let mut fresh_mirrors: Vec<Option<Mirror>> = Vec::new();
         let mut max_len = 1usize;
         for (id, src) in sources.iter().enumerate() {
             fresh_mirrors.push(match src {
                 Source::Old(o) => {
-                    max_len = max_len.max(self.lanes.nodes[*o as usize].len as usize);
+                    max_len = max_len.max(old_lanes.nodes[*o as usize].len as usize);
                     None
                 }
                 _ => {
@@ -542,7 +545,7 @@ impl CompiledFdd {
             });
         }
         let bits = usize::BITS - max_len.leading_zeros();
-        let lanes = if bits == self.lanes.bits {
+        let lanes = if bits == old_lanes.bits {
             let pad_to = LaneArena::pad_to(bits);
             let mut arena = LaneArena {
                 bits,
@@ -551,16 +554,16 @@ impl CompiledFdd {
             for (src, mirror) in sources.iter().zip(fresh_mirrors) {
                 match (src, mirror) {
                     (Source::Old(o), _) => {
-                        let kn = self.lanes.nodes[*o as usize];
+                        let kn = old_lanes.nodes[*o as usize];
                         let off = kn.off as usize;
                         let slice = if pad_to > 0 { pad_to } else { kn.len as usize };
                         let new_off =
                             u32::try_from(arena.cuts.len()).expect("mirror arenas within u32");
                         arena
                             .cuts
-                            .extend_from_slice(&self.lanes.cuts[off..off + slice]);
+                            .extend_from_slice(&old_lanes.cuts[off..off + slice]);
                         arena.targets.extend(
-                            self.lanes.targets[off..off + slice]
+                            old_lanes.targets[off..off + slice]
                                 .iter()
                                 .map(|t| old_ids[t]),
                         );
@@ -597,7 +600,7 @@ impl CompiledFdd {
             cut_targets,
             jump,
             level_starts,
-            lanes,
+            lanes: std::sync::OnceLock::from(lanes),
             stats: CompileStats::default(),
         };
         spliced.stats = spliced.compute_stats();

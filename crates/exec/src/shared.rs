@@ -18,12 +18,18 @@
 //! The pool trades the lane mirror away: level-contiguity is a per-image
 //! property that cannot survive incremental multi-root growth, so serving
 //! from the pool uses the scalar walk ([`SubgraphPool::decide`]) and the
-//! column walk ([`SubgraphPool::classify_columns_into`]).
+//! column walk ([`SubgraphPool::classify_columns_into`]). The calibrated
+//! engine choice still routes fleet batches
+//! ([`SubgraphPool::classify_auto_into`]): every kind degrades to the
+//! column walk, but the choice's thread count shards the batch across
+//! cores into disjoint output spans — the same multi-core discipline as
+//! the standalone parallel lane pipeline, minus the lanes.
 
 use fw_core::{ConsArena, ConsId, ConsView, FxMap};
 use fw_model::{Decision, Packet, Schema};
 
 use crate::batch::PacketBatch;
+use crate::calibrate::EngineChoice;
 use crate::compile::{
     decision_from_u16, emit_internal, lower_bound, verify_partition, NodeDesc, KIND_JUMP,
     KIND_TERMINAL,
@@ -208,10 +214,20 @@ impl SubgraphPool {
             }));
         }
         out.clear();
-        out.reserve(batch.len());
-        for i in 0..batch.len() {
+        out.resize(batch.len(), Decision::Accept);
+        self.columns_span(root, batch, 0, out);
+        Ok(())
+    }
+
+    /// The column walk over packets `[start, start + out.len())` of the
+    /// batch, writing each decision at its batch-relative slot — the
+    /// span primitive both the serial path and the sharded auto path
+    /// fill disjoint output slices through.
+    fn columns_span(&self, root: u32, batch: &PacketBatch, start: usize, out: &mut [Decision]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            let i = start + k;
             let mut idx = root as usize;
-            let d = loop {
+            *slot = loop {
                 let n = self.nodes[idx];
                 match n.kind {
                     KIND_TERMINAL => break decision_from_u16(n.field),
@@ -228,8 +244,52 @@ impl SubgraphPool {
                     }
                 }
             };
-            out.push(d);
         }
+    }
+
+    /// Classifies a batch through a calibrated [`EngineChoice`], degraded
+    /// to what the pool can serve: there is no lane mirror here
+    /// (level-contiguity is per-image) and no source diagram, so every
+    /// engine *kind* maps onto the column walk — but the choice's thread
+    /// count still shards the batch across cores, each worker filling a
+    /// disjoint span of `out`. Decisions land in packet order regardless
+    /// of the thread count, identical to
+    /// [`classify_columns_into`](Self::classify_columns_into).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Model`] if the batch was built over a different
+    /// schema.
+    pub fn classify_auto_into(
+        &self,
+        root: u32,
+        choice: EngineChoice,
+        batch: &PacketBatch,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ExecError> {
+        if batch.schema() != &self.schema {
+            return Err(ExecError::Model(fw_model::ModelError::ArityMismatch {
+                expected: self.schema.len(),
+                found: batch.schema().len(),
+            }));
+        }
+        let len = batch.len();
+        out.clear();
+        out.resize(len, Decision::Accept);
+        let threads = crate::par::resolve_threads(choice.threads).min(len.max(1));
+        if threads <= 1 {
+            self.columns_span(root, batch, 0, out);
+            return Ok(());
+        }
+        // Uniform static partition: the walk costs roughly the same per
+        // packet, so equal spans balance without a stealing cursor.
+        let span = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (k, chunk) in out.chunks_mut(span).enumerate() {
+                let at = k * span;
+                s.spawn(move || self.columns_span(root, batch, at, chunk));
+            }
+        });
         Ok(())
     }
 
@@ -347,6 +407,53 @@ mod tests {
         let mut other = SubgraphPool::new(fw_model::Schema::tcp_ip());
         let chain = SuffixChain::build(&mut arena, fw).unwrap();
         assert!(other.ensure(&arena, chain.root()).is_err());
+    }
+
+    /// Sharded auto serving must be byte-identical to the serial column
+    /// walk for every engine kind and thread count — including spans that
+    /// do not divide the batch evenly.
+    #[test]
+    fn auto_routing_shards_the_batch_without_reordering() {
+        let fw = fw_synth::Synthesizer::new(31).firewall(40);
+        let mut arena = ConsArena::new(fw.schema().clone());
+        let chain = SuffixChain::build(&mut arena, fw.clone()).unwrap();
+        let mut pool = SubgraphPool::new(fw.schema().clone());
+        let root = pool.ensure(&arena, chain.root()).unwrap();
+
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), 1_013, 17);
+        let batch = PacketBatch::from_trace(fw.schema().clone(), trace.packets()).unwrap();
+        let mut expect = Vec::new();
+        pool.classify_columns_into(root, &batch, &mut expect)
+            .unwrap();
+
+        let mut got = vec![Decision::Accept; 3]; // stale junk must be cleared
+        for kind in [
+            crate::EngineKind::Walk,
+            crate::EngineKind::Scalar,
+            crate::EngineKind::Columns,
+            crate::EngineKind::Lanes,
+        ] {
+            for threads in [0usize, 1, 2, 3, 8] {
+                let choice = EngineChoice {
+                    kind,
+                    threads,
+                    ..EngineChoice::default()
+                };
+                pool.classify_auto_into(root, choice, &batch, &mut got)
+                    .unwrap();
+                assert_eq!(got, expect, "kind {kind:?} threads {threads} diverged");
+            }
+        }
+
+        // Schema mismatch still rejects, and an empty batch is fine.
+        let empty = PacketBatch::from_packets(fw.schema().clone(), &[]).unwrap();
+        pool.classify_auto_into(root, EngineChoice::default(), &empty, &mut got)
+            .unwrap();
+        assert!(got.is_empty());
+        let other = PacketBatch::from_packets(fw_model::Schema::paper_example(), &[]).unwrap();
+        assert!(pool
+            .classify_auto_into(root, EngineChoice::default(), &other, &mut got)
+            .is_err());
     }
 
     #[test]

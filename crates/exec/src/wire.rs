@@ -148,19 +148,17 @@ impl CompiledFdd {
             cut_targets,
             jump,
             level_starts,
-            lanes: crate::kernel::LaneArena::default(),
+            // The lane mirror is *not* rebuilt here: it fills lazily on the
+            // first lane/auto classify (`CompiledFdd::lane_arena`), which
+            // runs after the structure checks below have accepted the
+            // image — `LaneArena::build` trusts those checks. A fleet
+            // restore that only walks the scalar path never pays the
+            // mirror build. Stats size the mirror by projection, so they
+            // match an eagerly-mirrored image exactly.
+            lanes: std::sync::OnceLock::new(),
             stats: crate::CompileStats::default(),
         };
         compiled.validate_structure()?;
-        // Mirror the validated arenas for the lane kernel, then account for
-        // them in the stats — order matters, `LaneArena::build` trusts the
-        // structure checks above and `compute_stats` sizes the mirror.
-        compiled.lanes = crate::kernel::LaneArena::build(
-            &compiled.nodes,
-            &compiled.cuts,
-            &compiled.cut_targets,
-            &compiled.jump,
-        );
         compiled.stats = compiled.compute_stats();
         Ok(compiled)
     }
@@ -182,6 +180,20 @@ mod tests {
         for p in trace.packets() {
             assert_eq!(compiled.classify(p), back.classify(p));
         }
+    }
+
+    #[test]
+    fn decode_defers_the_lane_mirror_until_first_lane_use() {
+        let fw = fw_synth::Synthesizer::new(9).firewall(25);
+        let compiled = CompiledFdd::from_firewall(&fw).unwrap();
+        let back = CompiledFdd::decode(fw.schema().clone(), compiled.encode()).unwrap();
+        assert!(back.lanes.get().is_none(), "mirror built eagerly on decode");
+        assert_eq!(back.stats(), compiled.stats(), "projected stats differ");
+        let trace = fw_synth::PacketTrace::random(fw.schema().clone(), 64, 2);
+        let batch = crate::PacketBatch::from_trace(fw.schema().clone(), trace.packets()).unwrap();
+        let lanes = back.classify_lanes(&batch, 16).unwrap();
+        assert!(back.lanes.get().is_some(), "lane use must force the mirror");
+        assert_eq!(lanes, compiled.classify_lanes(&batch, 16).unwrap());
     }
 
     #[test]

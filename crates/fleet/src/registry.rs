@@ -23,7 +23,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::RwLock;
 
 use fw_core::{ChangeImpact, ConsArena, ConsId, Edit, FxHasher, FxMap, MaintainStats, SuffixChain};
-use fw_exec::{PacketBatch, SubgraphPool};
+use fw_exec::{EngineChoice, EngineKind, PacketBatch, SubgraphPool};
 use fw_model::{Decision, Firewall, Packet, Rule, Schema};
 use serde::{Deserialize, Serialize};
 
@@ -421,15 +421,47 @@ impl FleetStats {
 /// ([`classify`](PolicyRegistry::classify),
 /// [`classify_batch`](PolicyRegistry::classify_batch), [`stats`](PolicyRegistry::stats))
 /// take a shared lock; mutations serialise on the writer lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PolicyRegistry {
     inner: RwLock<Inner>,
+    /// The engine choice batch serving routes through
+    /// ([`SubgraphPool::classify_auto_into`] degrades every kind to the
+    /// column walk, so only the thread count bites here). One choice for
+    /// the whole registry: pool serving has a single performance shape,
+    /// unlike standalone images.
+    choice: RwLock<EngineChoice>,
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> PolicyRegistry {
+        PolicyRegistry {
+            inner: RwLock::default(),
+            // Honest default for pool serving: the column walk, serial.
+            choice: RwLock::new(EngineChoice {
+                kind: EngineKind::Columns,
+                threads: 1,
+                ..EngineChoice::default()
+            }),
+        }
+    }
 }
 
 impl PolicyRegistry {
     /// Create an empty registry.
     pub fn new() -> PolicyRegistry {
         PolicyRegistry::default()
+    }
+
+    /// The engine choice batch serving currently routes through.
+    pub fn engine_choice(&self) -> EngineChoice {
+        *self.choice.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install the engine choice for batch serving — typically the winner
+    /// of a [`fw_exec::calibrate`] race on a representative image, or a
+    /// hand-picked thread count for the sharded column walk.
+    pub fn set_engine_choice(&self, choice: EngineChoice) {
+        *self.choice.write().unwrap_or_else(|e| e.into_inner()) = choice;
     }
 
     /// Register `tenant` with `policy`. Returns `true` when the policy
@@ -544,7 +576,7 @@ impl PolicyRegistry {
             .expect("registry invariant: tenant points at a live policy");
         shard
             .pool
-            .classify_columns_into(entry.root_node, batch, out)?;
+            .classify_auto_into(entry.root_node, self.engine_choice(), batch, out)?;
         Ok(())
     }
 
@@ -756,6 +788,31 @@ mod tests {
             assert_eq!(
                 registry.classify(TenantId(3), &p).unwrap(),
                 paper::team_b().decision_for(&p).unwrap()
+            );
+        }
+    }
+
+    /// The installed engine choice must never change a decision — only
+    /// how many cores the batch shards across.
+    #[test]
+    fn engine_choice_changes_threads_not_decisions() {
+        let registry = PolicyRegistry::new();
+        assert_eq!(registry.engine_choice().kind, EngineKind::Columns);
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        let a = paper::team_a();
+        let rows = packets(a.schema(), 21, 701);
+        let batch = PacketBatch::from_packets(a.schema().clone(), &rows).unwrap();
+        let baseline = registry.classify_batch(TenantId(1), &batch).unwrap();
+        assert_eq!(baseline.len(), rows.len());
+        for threads in [0usize, 2, 3, 8] {
+            registry.set_engine_choice(EngineChoice {
+                threads,
+                ..registry.engine_choice()
+            });
+            assert_eq!(
+                registry.classify_batch(TenantId(1), &batch).unwrap(),
+                baseline,
+                "threads {threads} diverged"
             );
         }
     }

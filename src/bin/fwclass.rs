@@ -6,7 +6,8 @@
 //! USAGE:
 //!     fwclass [--schema tcp-ip|paper] [--format dsl|iptables]
 //!             [--trace FILE | --random N | --biased N] [--scatter F]
-//!             [--seed S] [--engine scalar|columns|lanes] [--lane-width W]
+//!             [--seed S] [--engine scalar|columns|lanes|auto]
+//!             [--lane-width W] [--threads T]
 //!             [--save-trace FILE] [--save-compiled FILE]
 //!             [--edits FILE] [--check] <policy.fw>
 //!
@@ -14,8 +15,14 @@
 //!     --engine scalar   row-major walk, packet by packet
 //!     --engine columns  field-major scalar walk over a transposed batch
 //!     --engine lanes    level-synchronous lane kernel over the same batch
+//!     --engine auto     race every engine (FDD walk included) over a
+//!                       sample of the trace, then replay through the
+//!                       winner; prints each trial and the chosen engine
 //!     --lane-width W    packets in flight per lane-kernel chunk
 //!                       (default 32; only meaningful with --engine lanes)
+//!     --threads T       worker threads for the parallel lane pipeline and
+//!                       the calibrator's thread ladder (default 1; 0 means
+//!                       every available core)
 //!
 //! TRACE SOURCE (default --random 100000):
 //!     --trace FILE    replay a trace file written by --save-trace (or the
@@ -63,7 +70,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: fwclass [--schema tcp-ip|paper] [--format dsl|iptables] \
          [--trace FILE | --random N | --biased N] [--scatter F] [--seed S] \
-         [--engine scalar|columns|lanes] [--lane-width W] \
+         [--engine scalar|columns|lanes|auto] [--lane-width W] [--threads T] \
          [--save-trace FILE] [--save-compiled FILE] [--edits FILE] \
          [--check] <policy.fw>"
     );
@@ -81,6 +88,7 @@ enum Engine {
     Scalar,
     Columns,
     Lanes,
+    Auto,
 }
 
 impl Engine {
@@ -89,6 +97,7 @@ impl Engine {
             Engine::Scalar => "scalar",
             Engine::Columns => "columns",
             Engine::Lanes => "lanes",
+            Engine::Auto => "auto",
         }
     }
 }
@@ -101,6 +110,7 @@ fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut engine = Engine::Scalar;
     let mut lane_width = diverse_firewall::exec::DEFAULT_LANE_WIDTH;
+    let mut threads = 1usize;
     let mut save_trace: Option<String> = None;
     let mut save_compiled: Option<String> = None;
     let mut edits_file: Option<String> = None;
@@ -165,6 +175,7 @@ fn main() -> ExitCode {
                 Some("scalar") => engine = Engine::Scalar,
                 Some("columns") => engine = Engine::Columns,
                 Some("lanes") => engine = Engine::Lanes,
+                Some("auto") => engine = Engine::Auto,
                 other => {
                     eprintln!("fwclass: unknown engine {other:?}");
                     return usage();
@@ -174,6 +185,13 @@ fn main() -> ExitCode {
                 Some(w) if w >= 1 => lane_width = w,
                 _ => {
                     eprintln!("fwclass: --lane-width needs a positive integer");
+                    return usage();
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(t) => threads = t,
+                None => {
+                    eprintln!("fwclass: --threads needs an integer (0 = all cores)");
                     return usage();
                 }
             },
@@ -297,6 +315,40 @@ fn main() -> ExitCode {
             }
         }
     };
+    // The auto engine races every candidate over a trace sample before the
+    // timed replay — calibration (and the FDD walk candidate's diagram) is
+    // set-up cost, like the transpose above.
+    let calibrated = if engine == Engine::Auto {
+        let fdd = match diverse_firewall::core::Fdd::from_firewall_fast(&fw) {
+            Ok(f) => f.reduced(),
+            Err(e) => {
+                eprintln!("fwclass: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let b = batch.as_ref().expect("batch built for every column engine");
+        let cal = match diverse_firewall::exec::calibrate(
+            &compiled,
+            Some(&fdd),
+            Some(trace.packets()),
+            b,
+            threads,
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fwclass: calibration failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for t in &cal.trials {
+            println!("  trial {:<14} {:7.2} Mpps", t.choice.to_string(), t.mpps);
+        }
+        println!("calibrated on {} packet(s): {}", cal.sample, cal.choice);
+        Some((cal.choice, fdd))
+    } else {
+        None
+    };
+
     let t = Instant::now();
     let mut decisions = Vec::new();
     let classified = match (engine, &batch) {
@@ -305,7 +357,30 @@ fn main() -> ExitCode {
             Ok(())
         }
         (Engine::Columns, Some(b)) => compiled.classify_columns_into(b, &mut decisions),
-        (Engine::Lanes, Some(b)) => compiled.classify_lanes_into(b, lane_width, &mut decisions),
+        (Engine::Lanes, Some(b)) if threads == 1 => compiled.classify_lanes_into(
+            b,
+            lane_width,
+            &mut diverse_firewall::exec::LaneScratch::new(),
+            &mut decisions,
+        ),
+        (Engine::Lanes, Some(b)) => compiled.classify_lanes_par_into(
+            b,
+            lane_width,
+            threads,
+            &mut diverse_firewall::exec::ParScratch::default(),
+            &mut decisions,
+        ),
+        (Engine::Auto, Some(b)) => {
+            let (choice, fdd) = calibrated.as_ref().expect("calibrated above");
+            choice.classify_into(
+                &compiled,
+                Some(fdd),
+                Some(trace.packets()),
+                b,
+                &mut diverse_firewall::exec::EngineScratch::default(),
+                &mut decisions,
+            )
+        }
         _ => unreachable!("batch built for every column engine"),
     };
     if let Err(e) = classified {
@@ -332,10 +407,14 @@ fn main() -> ExitCode {
 
     let mpps = |n: usize, secs: f64| n as f64 / secs / 1e6;
     let n = trace.len();
+    let engine_label = match &calibrated {
+        Some((choice, _)) => format!("auto -> {choice}"),
+        None if engine == Engine::Lanes && threads != 1 => format!("lanes, {threads} thread(s)"),
+        None => engine.name().to_string(),
+    };
     println!(
-        "compiled matcher ({}): {compiled_time:?} ({:.2} Mpps, compile {:.0} µs) | \
+        "compiled matcher ({engine_label}): {compiled_time:?} ({:.2} Mpps, compile {:.0} µs) | \
          linear scan: {linear_time:?} ({:.2} Mpps) | speedup x{:.2}",
-        engine.name(),
         mpps(n, compiled_time.as_secs_f64()),
         compile_time.as_secs_f64() * 1e6,
         mpps(n, linear_time.as_secs_f64()),

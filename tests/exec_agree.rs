@@ -7,9 +7,18 @@
 //! lengths) must return the same decision — on random policies, biased
 //! traces, wire-format round trips (including the v2 level metadata), and
 //! an exhaustive all-packets sweep of a tiny schema.
+//!
+//! The multi-core additions ride the same oracle: the parallel lane
+//! pipeline must be byte-identical to the serial kernel at every thread
+//! count (including counts that do not divide the batch), and the auto
+//! route must serve the same decisions under every [`EngineChoice`] a
+//! calibrator could install.
 
 use diverse_firewall::core::Fdd;
-use diverse_firewall::exec::{CompiledFdd, PacketBatch, DEFAULT_LANE_WIDTH};
+use diverse_firewall::exec::{
+    CompiledFdd, EngineChoice, EngineKind, EngineScratch, PacketBatch, ParScratch,
+    DEFAULT_LANE_WIDTH,
+};
 use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
 use diverse_firewall::synth::{PacketTrace, Synthesizer};
 use proptest::prelude::*;
@@ -67,6 +76,41 @@ fn assert_four_way(fw: &Firewall, trace: &PacketTrace, tag: &str) {
             "{tag}: decoded lane kernel diverges at width {width}"
         );
     }
+
+    // Parallel ≡ serial: the sharded pipeline must reproduce the serial
+    // kernel bit for bit at every thread count — 401-packet traces are
+    // never a multiple of the lane width or the thread count, so ragged
+    // final spans and idle workers are both exercised.
+    let mut par_scratch = ParScratch::default();
+    let mut par_out = Vec::new();
+    for threads in [1usize, 2, 3, 4, 8] {
+        compiled
+            .classify_lanes_par_into(
+                &batch,
+                DEFAULT_LANE_WIDTH,
+                threads,
+                &mut par_scratch,
+                &mut par_out,
+            )
+            .unwrap();
+        assert_eq!(
+            par_out, lanes,
+            "{tag}: parallel lanes diverge at {threads} thread(s)"
+        );
+    }
+    // The auto route with no stored calibration serves the default choice
+    // — same decisions, including through a decoded image whose lane
+    // mirror is built lazily on this very call.
+    assert_eq!(
+        compiled.classify_auto(&batch).unwrap(),
+        lanes,
+        "{tag}: auto"
+    );
+    assert_eq!(
+        reloaded.classify_auto(&batch).unwrap(),
+        lanes,
+        "{tag}: decoded auto"
+    );
 }
 
 proptest! {
@@ -134,6 +178,51 @@ fn engines_match_exhaustive_oracle_on_tiny_schema() {
             let lanes = compiled.classify_lanes(&batch, width).unwrap();
             assert_eq!(lanes, linears, "policy {k}, lane kernel at width {width}");
         }
+
+        // The whole domain through the auto route, under every engine
+        // choice a calibrator could install: all four kinds, serial and
+        // sharded, at two lane widths — 64 packets checked cell-by-cell
+        // each time.
+        let mut scratch = EngineScratch::default();
+        let mut out = Vec::new();
+        for kind in [
+            EngineKind::Walk,
+            EngineKind::Scalar,
+            EngineKind::Columns,
+            EngineKind::Lanes,
+        ] {
+            for threads in [1usize, 2, 4, 8] {
+                for lane_width in [8usize, 32] {
+                    let choice = EngineChoice {
+                        kind,
+                        lane_width,
+                        threads,
+                    };
+                    choice
+                        .classify_into(
+                            &compiled,
+                            Some(&fdd),
+                            Some(&all),
+                            &batch,
+                            &mut scratch,
+                            &mut out,
+                        )
+                        .unwrap();
+                    assert_eq!(out, linears, "policy {k}: {choice} diverges");
+                }
+            }
+        }
+        // And the calibrated entry point end to end: race the engines on
+        // the full domain, then serve through whatever won.
+        let mut tuned = compiled.clone();
+        let cal = tuned.calibrate(Some(&fdd), Some(&all), &batch, 2).unwrap();
+        assert_eq!(tuned.stats().calibrated, Some(cal.choice));
+        assert_eq!(
+            tuned.classify_auto(&batch).unwrap(),
+            linears,
+            "policy {k}: calibrated auto ({}) diverges",
+            cal.choice
+        );
     }
 }
 
