@@ -35,8 +35,8 @@ use std::time::Instant;
 
 use fw_core::Fdd;
 use fw_exec::{
-    CompiledFdd, EngineChoice, EngineKind, EngineScratch, LaneScratch, PacketBatch, ParScratch,
-    DEFAULT_LANE_WIDTH,
+    CompiledFdd, DecisionCache, EngineChoice, EngineKind, EngineScratch, LaneScratch, PacketBatch,
+    ParScratch, DEFAULT_LANE_WIDTH,
 };
 use fw_model::{Decision, Firewall};
 use fw_synth::PacketTrace;
@@ -44,6 +44,11 @@ use fw_synth::PacketTrace;
 const PACKETS: usize = 20_000;
 const REPEATS: u32 = 3;
 const SCATTER: f64 = 0.3;
+/// Decision-cache capacity for the cached rows and the hit-rate sweep —
+/// the same default `fwclass --cache` suggests.
+const CACHE_CAPACITY: usize = 1 << 16;
+/// Zipf exponents for the hit-rate sweep (1.0 ≈ classic web/flow skew).
+const CACHE_SWEEP_S: [f64; 3] = [0.8, 1.0, 1.2];
 const SWEEP_WIDTHS: [usize; 6] = [4, 8, 16, 32, 64, 128];
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// The auto route must stay within this factor of the best single engine
@@ -52,7 +57,7 @@ const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 const AUTO_TOLERANCE: f64 = 0.97;
 /// Re-measure (and after two misses, re-route) this many times before
 /// declaring the auto route slower than the best single engine.
-const AUTO_ATTEMPTS: usize = 8;
+const AUTO_ATTEMPTS: usize = 12;
 
 struct Row {
     workload: String,
@@ -65,10 +70,21 @@ struct Row {
     compiled_columns_mpps: f64,
     lanes_mpps: f64,
     auto_mpps: f64,
+    cached_mpps: f64,
+    cache_hit_rate: f64,
+    cache_elected: bool,
     chosen_engine: String,
     compiled_nodes: usize,
     arena_bytes: usize,
     max_depth: usize,
+}
+
+struct CacheSweepRow {
+    workload: String,
+    s: f64,
+    hit_rate: f64,
+    cached_mpps: f64,
+    uncached_mpps: f64,
 }
 
 struct SweepRow {
@@ -246,6 +262,7 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
                 kind: best_kind,
                 lane_width: DEFAULT_LANE_WIDTH,
                 threads: 1,
+                cached: false,
             };
         }
         auto_mpps = auto_mpps.max(measure_auto(&compiled, &fdd, trace, &batch, choice));
@@ -256,13 +273,110 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
          {best:.2} Mpps ({best_kind:?})"
     );
 
+    // Cached front end: agreement asserted cold AND warm before any
+    // timing, then steady-state (warm-cache) throughput of the best
+    // uncached engine behind the cache. The calibrator separately races a
+    // cached candidate on the trace sample; `cache_elected` records its
+    // verdict — skewed traces elect it, uniform ones reject it.
+    let base = EngineChoice {
+        kind: best_kind,
+        lane_width: DEFAULT_LANE_WIDTH,
+        threads: 1,
+        cached: false,
+    };
+    let mut cache =
+        DecisionCache::new(fw.schema().clone(), CACHE_CAPACITY).expect("non-zero capacity");
+    let mut cache_scratch = EngineScratch::default();
+    let mut cached_out = Vec::new();
+    for pass in ["cold", "warm"] {
+        base.classify_cached_into(
+            &compiled,
+            Some(&fdd),
+            &batch,
+            &mut cache,
+            &mut cache_scratch,
+            &mut cached_out,
+        )
+        .expect("same schema");
+        assert_eq!(
+            linear, cached_out,
+            "{name}/{kind}: cached route diverges ({pass} cache)"
+        );
+    }
+    cache.reset_stats();
+    let cached_mpps = median_mpps(
+        n,
+        time_repeats(|| {
+            base.classify_cached_into(
+                &compiled,
+                Some(&fdd),
+                &batch,
+                &mut cache,
+                &mut cache_scratch,
+                &mut cached_out,
+            )
+            .expect("same schema");
+            std::hint::black_box(cached_out.len());
+        }),
+    );
+    let cache_hit_rate = cache.stats().hit_rate();
+    let cache_elected = fw_exec::calibrate_with_cache(
+        &compiled,
+        Some(&fdd),
+        Some(trace.packets()),
+        &batch,
+        cores,
+        CACHE_CAPACITY,
+    )
+    .expect("benchmark batches are non-empty and schema-matched")
+    .choice
+    .cached;
+    // Uniform-random guard: when the calibrator elects the cache on a
+    // uniform trace, cache-enabled serving must stay within 3% of the
+    // plain auto route; when it rejects it (the expected verdict —
+    // near-zero hit rate), serving stays uncached and cannot regress.
+    if kind == "random" {
+        let mut effective = if cache_elected {
+            cached_mpps
+        } else {
+            auto_mpps
+        };
+        for _ in 1..AUTO_ATTEMPTS {
+            if effective >= 0.97 * auto_mpps {
+                break;
+            }
+            effective = effective.max(median_mpps(
+                n,
+                time_repeats(|| {
+                    base.classify_cached_into(
+                        &compiled,
+                        Some(&fdd),
+                        &batch,
+                        &mut cache,
+                        &mut cache_scratch,
+                        &mut cached_out,
+                    )
+                    .expect("same schema");
+                    std::hint::black_box(cached_out.len());
+                }),
+            ));
+        }
+        assert!(
+            effective >= 0.97 * auto_mpps,
+            "{name}/random: cache-enabled serving {effective:.2} Mpps regressed more than \
+             3% against the auto route {auto_mpps:.2} Mpps"
+        );
+    }
+
     let s = compiled.stats();
     println!(
         "{name}/{kind}: linear {linear_mpps:.2} Mpps | walk {fdd_walk_mpps:.2} Mpps | \
          compiled {compiled_mpps:.2} Mpps (x{:.1} vs linear) | columns {compiled_columns_mpps:.2} Mpps | \
-         lanes {lanes_mpps:.2} Mpps (x{:.2} vs walk) | auto {auto_mpps:.2} Mpps via {choice}",
+         lanes {lanes_mpps:.2} Mpps (x{:.2} vs walk) | auto {auto_mpps:.2} Mpps via {choice} | \
+         cached {cached_mpps:.2} Mpps (hit {:.0}%, elected {cache_elected})",
         compiled_mpps / linear_mpps,
-        lanes_mpps / fdd_walk_mpps
+        lanes_mpps / fdd_walk_mpps,
+        cache_hit_rate * 100.0
     );
     Row {
         workload: name.to_owned(),
@@ -275,6 +389,9 @@ fn bench_trace(name: &str, fw: &Firewall, trace: &PacketTrace, kind: &'static st
         compiled_columns_mpps,
         lanes_mpps,
         auto_mpps,
+        cached_mpps,
+        cache_hit_rate,
+        cache_elected,
         chosen_engine: choice.to_string(),
         compiled_nodes: s.nodes,
         arena_bytes: s.arena_bytes,
@@ -380,6 +497,78 @@ fn bench_workload(rows: &mut Vec<Row>, name: &str, fw: &Firewall, seed: u64) {
     rows.push(bench_trace(name, fw, &random, "random"));
     let biased = PacketTrace::biased(fw, PACKETS, SCATTER, seed + 1);
     rows.push(bench_trace(name, fw, &biased, "biased"));
+    let zipf = PacketTrace::zipf(fw, PACKETS, 1.0, seed + 2);
+    rows.push(bench_trace(name, fw, &zipf, "zipf"));
+}
+
+/// Cache hit-rate sweep on one workload: Zipf exponent vs hit rate and
+/// throughput, cached ≡ uncached asserted cold and warm before timing.
+fn sweep_cache(rows: &mut Vec<CacheSweepRow>, name: &str, fw: &Firewall, seed: u64) {
+    let fdd = fw_core::Fdd::from_firewall_fast(fw).expect("benchmark policies are comprehensive");
+    let compiled = CompiledFdd::from_firewall(fw).expect("benchmark policies compile");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    for s in CACHE_SWEEP_S {
+        let trace = PacketTrace::zipf(fw, PACKETS, s, seed);
+        let batch = PacketBatch::from_trace(fw.schema().clone(), trace.packets())
+            .expect("trace packets are schema-valid");
+        let expected: Vec<Decision> = trace.packets().iter().map(|p| fdd.evaluate(p)).collect();
+        let choice =
+            fw_exec::calibrate(&compiled, Some(&fdd), Some(trace.packets()), &batch, cores)
+                .expect("benchmark batches are non-empty and schema-matched")
+                .choice
+                .uncached();
+        let mut cache =
+            DecisionCache::new(fw.schema().clone(), CACHE_CAPACITY).expect("non-zero capacity");
+        let mut scratch = EngineScratch::default();
+        let mut out = Vec::new();
+        for pass in ["cold", "warm"] {
+            choice
+                .classify_cached_into(
+                    &compiled,
+                    Some(&fdd),
+                    &batch,
+                    &mut cache,
+                    &mut scratch,
+                    &mut out,
+                )
+                .expect("same schema");
+            assert_eq!(
+                expected, out,
+                "{name}: cache sweep diverges at s={s} ({pass})"
+            );
+        }
+        cache.reset_stats();
+        let cached_mpps = median_mpps(
+            trace.len(),
+            time_repeats(|| {
+                choice
+                    .classify_cached_into(
+                        &compiled,
+                        Some(&fdd),
+                        &batch,
+                        &mut cache,
+                        &mut scratch,
+                        &mut out,
+                    )
+                    .expect("same schema");
+                std::hint::black_box(out.len());
+            }),
+        );
+        let hit_rate = cache.stats().hit_rate();
+        let uncached_mpps = measure_auto(&compiled, &fdd, &trace, &batch, choice);
+        println!(
+            "{name}: cache sweep s={s}: hit {:.1}% | cached {cached_mpps:.2} Mpps | \
+             uncached {uncached_mpps:.2} Mpps",
+            hit_rate * 100.0
+        );
+        rows.push(CacheSweepRow {
+            workload: name.to_owned(),
+            s,
+            hit_rate,
+            cached_mpps,
+            uncached_mpps,
+        });
+    }
 }
 
 fn main() {
@@ -417,6 +606,42 @@ fn main() {
         let fw = fw_synth::Synthesizer::new(302).firewall(500);
         let trace = PacketTrace::random(fw.schema().clone(), PACKETS, 42);
         sweep_lanes(&mut sweep, "fig13/synth-n500", &fw, &trace, "random");
+    }
+
+    // Hit-rate sweep: skew exponent against hit rate and throughput on
+    // the large real-life workload.
+    let mut cache_sweep = Vec::new();
+    sweep_cache(
+        &mut cache_sweep,
+        "fig12/large(661)",
+        &fw_synth::university_large(),
+        77,
+    );
+
+    // Acceptance gate: on the Zipf s=1.0 trace of the large real-life
+    // workload, warm cached serving must at least double the best
+    // uncached engine.
+    {
+        let row = rows
+            .iter()
+            .find(|r| r.workload == "fig12/large(661)" && r.trace == "zipf")
+            .expect("zipf row exists");
+        let best_uncached = row
+            .fdd_walk_mpps
+            .max(row.compiled_mpps)
+            .max(row.compiled_columns_mpps)
+            .max(row.lanes_mpps)
+            .max(row.auto_mpps);
+        assert!(
+            row.cached_mpps >= 2.0 * best_uncached,
+            "cached serving on fig12/large(661)/zipf reached only {:.2} Mpps \
+             against best uncached {best_uncached:.2} Mpps (need 2x)",
+            row.cached_mpps
+        );
+        assert!(
+            row.cache_elected,
+            "the calibrator must elect the cache on the skewed trace"
+        );
     }
 
     // Thread scaling of the parallel lane pipeline on the largest
@@ -459,6 +684,7 @@ fn main() {
     let _ = writeln!(json, "  \"scatter\": {SCATTER},");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"core_limited\": {core_limited},");
+    let _ = writeln!(json, "  \"cache_capacity\": {CACHE_CAPACITY},");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
@@ -467,7 +693,8 @@ fn main() {
             "    {{\"workload\": \"{}\", \"rules\": {}, \"trace\": \"{}\", \"packets\": {}, \
              \"linear_mpps\": {:.3}, \"fdd_walk_mpps\": {:.3}, \"compiled_mpps\": {:.3}, \
              \"compiled_columns_mpps\": {:.3}, \"lanes_mpps\": {:.3}, \
-             \"auto_mpps\": {:.3}, \"chosen_engine\": \"{}\", \
+             \"auto_mpps\": {:.3}, \"cached_mpps\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"cache_elected\": {}, \"chosen_engine\": \"{}\", \
              \"speedup_vs_linear\": {:.3}, \"lanes_speedup_vs_walk\": {:.3}, \
              \"compiled_nodes\": {}, \"arena_bytes\": {}, \"max_depth\": {}}}{sep}",
             r.workload,
@@ -480,6 +707,9 @@ fn main() {
             r.compiled_columns_mpps,
             r.lanes_mpps,
             r.auto_mpps,
+            r.cached_mpps,
+            r.cache_hit_rate,
+            r.cache_elected,
             r.chosen_engine,
             r.compiled_mpps / r.linear_mpps,
             r.lanes_mpps / r.fdd_walk_mpps,
@@ -498,6 +728,17 @@ fn main() {
             "    {{\"workload\": \"{}\", \"trace\": \"{}\", \"lane_width\": {}, \
              \"lanes_mpps\": {:.3}}}{sep}",
             r.workload, r.trace, r.lane_width, r.mpps
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"cache_sweep\": [\n");
+    for (i, r) in cache_sweep.iter().enumerate() {
+        let sep = if i + 1 < cache_sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"zipf_s\": {}, \"hit_rate\": {:.4}, \
+             \"cached_mpps\": {:.3}, \"uncached_mpps\": {:.3}}}{sep}",
+            r.workload, r.s, r.hit_rate, r.cached_mpps, r.uncached_mpps
         );
     }
     json.push_str("  ],\n");

@@ -137,6 +137,13 @@ impl PacketBatch {
         &self.columns
     }
 
+    /// Consumes the batch, returning its column buffers for recycling —
+    /// the cached front end rebuilds its compacted miss batch every call
+    /// and reclaims the allocations this way.
+    pub fn into_columns(self) -> Vec<Vec<u64>> {
+        self.columns
+    }
+
     /// Reassembles packet `i` (row-major), for spot checks and error
     /// reporting.
     ///

@@ -89,23 +89,34 @@ pub struct EngineChoice {
     /// Worker threads when `kind` is [`EngineKind::Lanes`] (`1` = serial
     /// kernel); ignored otherwise.
     pub threads: usize,
+    /// Whether a [`crate::DecisionCache`] front end sits before `kind`
+    /// (the engine then only classifies the misses). Routing through the
+    /// cache is the caller's move — [`EngineChoice::classify_into`]
+    /// ignores this flag, [`crate::LiveMatcher`] and the fleet registry
+    /// honour it.
+    pub cached: bool,
 }
 
 impl Default for EngineChoice {
     /// The uncalibrated fallback: the serial lane kernel at
     /// [`DEFAULT_LANE_WIDTH`] — the fastest engine on 9 of 10 bench
-    /// workloads before calibration existed.
+    /// workloads before calibration existed. No cache front end: memoizing
+    /// only pays on skewed traffic, which must be measured, not presumed.
     fn default() -> EngineChoice {
         EngineChoice {
             kind: EngineKind::Lanes,
             lane_width: DEFAULT_LANE_WIDTH,
             threads: 1,
+            cached: false,
         }
     }
 }
 
 impl std::fmt::Display for EngineChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cached {
+            f.write_str("cache+")?;
+        }
         match self.kind {
             EngineKind::Lanes => {
                 write!(f, "lanes/w{}/t{}", self.lane_width, self.threads)
@@ -187,6 +198,9 @@ pub struct EngineScratch {
     par: ParScratch,
     /// One packet's gathered values, for the walk over a column batch.
     values: Vec<u64>,
+    /// Miss-path buffers for the cached front end
+    /// ([`EngineChoice::classify_cached_into`]).
+    pub(crate) cache: crate::cache::CacheScratch,
 }
 
 impl EngineScratch {
@@ -305,6 +319,37 @@ pub fn calibrate(
     batch: &PacketBatch,
     max_threads: usize,
 ) -> Result<Calibration, ExecError> {
+    calibrate_with_cache(compiled, walk, rows, batch, max_threads, 0)
+}
+
+/// [`calibrate`] with one extra candidate: the best uncached engine fronted
+/// by a [`crate::DecisionCache`] of `cache_capacity` entries (skipped when
+/// `cache_capacity` is zero).
+///
+/// The cached trial is a component race rather than a raw replay: one cold
+/// fill pass over a throwaway cache leaves the sample's distinct tuples
+/// resident, warm passes time the pure hit path, and the trial's reported
+/// figure is the projected steady-state throughput at the sample's
+/// repetition rate (misses are costed as the best uncached engine plus the
+/// probe/insert overhead). A Zipf or replayed-flow sample elects the
+/// cache; a uniform-random sample (every tuple distinct) projects below
+/// the best engine and rejects it. The cached candidate still goes
+/// through the agreement-checked [`EngineChoice::classify_cached_into`]
+/// path, so like every other candidate it can only change speed, never
+/// decisions.
+///
+/// # Errors
+///
+/// As for [`calibrate`], plus any error from the cached candidate's probe
+/// machinery (never for a valid batch).
+pub fn calibrate_with_cache(
+    compiled: &CompiledFdd,
+    walk: Option<&Fdd>,
+    rows: Option<&[Packet]>,
+    batch: &PacketBatch,
+    max_threads: usize,
+    cache_capacity: usize,
+) -> Result<Calibration, ExecError> {
     if batch.schema() != compiled.schema() {
         return Err(ExecError::Model(fw_model::ModelError::ArityMismatch {
             expected: compiled.schema().len(),
@@ -333,6 +378,7 @@ pub fn calibrate(
             kind: EngineKind::Walk,
             lane_width: 0,
             threads: 1,
+            cached: false,
         });
     }
     if sample_rows.is_some() {
@@ -340,12 +386,14 @@ pub fn calibrate(
             kind: EngineKind::Scalar,
             lane_width: 0,
             threads: 1,
+            cached: false,
         });
     }
     candidates.push(EngineChoice {
         kind: EngineKind::Columns,
         lane_width: 0,
         threads: 1,
+        cached: false,
     });
     for width in CALIBRATE_LANE_WIDTHS {
         for &threads in &thread_ladder(resolve_threads(max_threads)) {
@@ -353,6 +401,7 @@ pub fn calibrate(
                 kind: EngineKind::Lanes,
                 lane_width: width,
                 threads,
+                cached: false,
             });
         }
     }
@@ -380,8 +429,61 @@ pub fn calibrate(
             best = Some((mpps, choice));
         }
     }
+    let (best_mpps, mut best_choice) = best.expect("at least the columns candidate ran");
+    if cache_capacity > 0 {
+        let candidate = best_choice.with_cache();
+        let mut cache = crate::DecisionCache::new(compiled.schema().clone(), cache_capacity)?;
+        // The batch front end partitions a whole batch into hits and misses
+        // before any insert lands, so a single cold pass can never hit —
+        // racing cold passes would reject the cache on every trace shape.
+        // Instead the trial is a component race: one cold fill pass leaves
+        // the sample's *distinct* tuples resident (inserts refresh matching
+        // slots, so the resident count is the distinct count) ...
+        candidate.classify_cached_into(
+            compiled,
+            walk,
+            &sample,
+            &mut cache,
+            &mut scratch,
+            &mut out,
+        )?;
+        let distinct = cache.len().min(sample_len);
+        // ... warm timed passes measure the pure hit path ...
+        let mut secs = f64::INFINITY;
+        for _ in 0..CALIBRATE_PASSES {
+            let t = Instant::now();
+            candidate.classify_cached_into(
+                compiled,
+                walk,
+                &sample,
+                &mut cache,
+                &mut scratch,
+                &mut out,
+            )?;
+            std::hint::black_box(out.len());
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        let hit_mpps = sample_len as f64 / secs / 1e6;
+        // ... and the trial's figure is the projected steady-state
+        // throughput at the sample's repetition rate: hits serve at the
+        // measured hit speed, misses pay the best uncached engine *plus*
+        // the probe/insert overhead (approximated by the hit-path cost).
+        // A uniform-random sample has distinct == sample_len, projects
+        // strictly below the best engine, and rejects the cache; a skewed
+        // sample's repeated flows project above it and elect the cache.
+        let hit_rate = 1.0 - distinct as f64 / sample_len as f64;
+        let miss_cost = 1.0 / best_mpps + 1.0 / hit_mpps;
+        let mpps = 1.0 / (hit_rate / hit_mpps + (1.0 - hit_rate) * miss_cost);
+        trials.push(Trial {
+            choice: candidate,
+            mpps,
+        });
+        if mpps > best_mpps {
+            best_choice = candidate;
+        }
+    }
     Ok(Calibration {
-        choice: best.expect("at least the columns candidate ran").1,
+        choice: best_choice,
         trials,
         sample: sample_len,
     })
@@ -408,6 +510,26 @@ impl CompiledFdd {
         max_threads: usize,
     ) -> Result<Calibration, ExecError> {
         let cal = calibrate(self, walk, rows, batch, max_threads)?;
+        self.stats.calibrated = Some(cal.choice);
+        Ok(cal)
+    }
+
+    /// [`CompiledFdd::calibrate`] with the cached candidate in the race
+    /// (see [`calibrate_with_cache`]); a winning cached choice is recorded
+    /// with `cached: true`, which cache-holding serving surfaces honour.
+    ///
+    /// # Errors
+    ///
+    /// As for [`calibrate_with_cache`].
+    pub fn calibrate_with_cache(
+        &mut self,
+        walk: Option<&Fdd>,
+        rows: Option<&[Packet]>,
+        batch: &PacketBatch,
+        max_threads: usize,
+        cache_capacity: usize,
+    ) -> Result<Calibration, ExecError> {
+        let cal = calibrate_with_cache(self, walk, rows, batch, max_threads, cache_capacity)?;
         self.stats.calibrated = Some(cal.choice);
         Ok(cal)
     }
@@ -493,26 +615,31 @@ mod tests {
                 kind: EngineKind::Walk,
                 lane_width: 0,
                 threads: 1,
+                cached: false,
             },
             EngineChoice {
                 kind: EngineKind::Scalar,
                 lane_width: 0,
                 threads: 1,
+                cached: false,
             },
             EngineChoice {
                 kind: EngineKind::Columns,
                 lane_width: 0,
                 threads: 1,
+                cached: false,
             },
             EngineChoice {
                 kind: EngineKind::Lanes,
                 lane_width: 16,
                 threads: 1,
+                cached: false,
             },
             EngineChoice {
                 kind: EngineKind::Lanes,
                 lane_width: 32,
                 threads: 4,
+                cached: false,
             },
         ];
         for choice in choices {
@@ -538,6 +665,36 @@ mod tests {
                 .unwrap();
             assert_eq!(out, expect, "{choice} degraded");
         }
+    }
+
+    #[test]
+    fn cached_candidate_joins_the_race_and_serves_identically() {
+        let (fw, mut compiled, batch) = setup(25, 900, 21);
+        let cal = compiled
+            .calibrate_with_cache(None, None, &batch, 1, 1 << 10)
+            .unwrap();
+        // columns + 4 lane widths × ladder(1) + the cached arm.
+        assert_eq!(cal.trials.len(), 1 + CALIBRATE_LANE_WIDTHS.len() + 1);
+        let last = cal.trials.last().unwrap();
+        assert!(last.choice.cached, "the cached arm races last");
+        assert!(last.choice.to_string().starts_with("cache+"));
+        assert_eq!(
+            cal.trials.iter().filter(|t| t.choice.cached).count(),
+            1,
+            "exactly one cached candidate"
+        );
+        // Plain calibrate never races the cache.
+        let base = calibrate(&compiled, None, None, &batch, 1).unwrap();
+        assert!(base.trials.iter().all(|t| !t.choice.cached));
+        // Whatever won, serving through the cached front end is identical.
+        let expect = compiled.classify_columns(&batch).unwrap();
+        let mut cache = crate::DecisionCache::new(fw.schema().clone(), 1 << 10).unwrap();
+        let mut scratch = EngineScratch::new();
+        let mut out = Vec::new();
+        cal.choice
+            .classify_cached_into(&compiled, None, &batch, &mut cache, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, expect);
     }
 
     #[test]
@@ -572,6 +729,7 @@ mod tests {
             kind: EngineKind::Walk,
             lane_width: 0,
             threads: 1,
+            cached: false,
         };
         table.set("random", choice);
         table.set(
@@ -580,6 +738,7 @@ mod tests {
                 kind: EngineKind::Lanes,
                 lane_width: 16,
                 threads: 2,
+                cached: false,
             },
         );
         assert_eq!(table.len(), 2);

@@ -45,7 +45,14 @@
 //! * [`SubgraphPool`] — cross-image shared compilation for fleet serving:
 //!   one pool of compiled nodes keyed by canonical `fw_core::ConsId`, so
 //!   subtrees shared between tenants of a multi-policy registry are
-//!   lowered once and an image is just a root index (see `shared.rs`).
+//!   lowered once and an image is just a root index (see `shared.rs`);
+//! * [`DecisionCache`] — the skew-exploiting memoization front end: a
+//!   4-way set-associative table over packet field tuples with *exact*
+//!   impact-driven invalidation (an edit's `fw_core::ChangeImpact`
+//!   region is intersected against resident entries, falling back to an
+//!   O(1) epoch bump past the [`InvalidationPlan::choose`] crossover),
+//!   raced by [`calibrate_with_cache`] so skewed traffic elects it and
+//!   uniform traffic rejects it (see `cache.rs`).
 //!
 //! # Example
 //!
@@ -67,6 +74,7 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+mod cache;
 mod calibrate;
 mod compile;
 mod error;
@@ -78,9 +86,13 @@ mod shared;
 mod wire;
 
 pub use batch::PacketBatch;
+pub use cache::{
+    CacheScratch, CacheStats, DecisionCache, InvalidationPlan, InvalidationReport, CACHE_WAYS,
+    UNTAGGED,
+};
 pub use calibrate::{
-    calibrate, Calibration, EngineChoice, EngineKind, EngineScratch, EngineTable, Trial,
-    CALIBRATE_LANE_WIDTHS, CALIBRATE_SAMPLE,
+    calibrate, calibrate_with_cache, Calibration, EngineChoice, EngineKind, EngineScratch,
+    EngineTable, Trial, CALIBRATE_LANE_WIDTHS, CALIBRATE_SAMPLE,
 };
 pub use compile::{CompileStats, CompiledFdd, JUMP_TABLE_MAX_BITS};
 pub use error::ExecError;

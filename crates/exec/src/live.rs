@@ -40,6 +40,7 @@ use fw_core::{Edit, Fdd, MaintainStats, MaintainedFdd};
 use fw_model::{Decision, Firewall, Packet};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheStats, DecisionCache, InvalidationReport};
 use crate::calibrate::{Calibration, EngineChoice, EngineScratch};
 use crate::{CompiledFdd, ExecError, PacketBatch, RecompileStats};
 
@@ -84,6 +85,17 @@ pub struct LiveMatcher {
     /// an edit rarely changes the image's performance shape, and the
     /// caller can recalibrate whenever it does.
     choice: RwLock<EngineChoice>,
+    /// The optional decision-cache front end
+    /// ([`LiveMatcher::enable_cache`]). The mutex covers a whole cached
+    /// batch (probe → miss classify → insert), so an edit's invalidation
+    /// serializes against in-flight cached batches; lock order is cache →
+    /// image-read on the serving side, and the writer never holds the
+    /// image lock while taking this one, so the pair cannot deadlock. A
+    /// batch serving from a pre-edit snapshot can insert pre-edit
+    /// decisions *before* that edit's invalidation runs — which then
+    /// drops exactly the inserted entries inside the edit's region, and
+    /// entries outside the region decide identically under both images.
+    cache: Mutex<Option<DecisionCache>>,
     /// Ticks once per published image (a rejected or no-op edit batch does
     /// not tick).
     epoch: AtomicU64,
@@ -108,6 +120,10 @@ pub struct SwapReport {
     /// The incremental recompile's shared/fresh accounting (`None` for a
     /// no-op batch).
     pub recompile: Option<RecompileStats>,
+    /// The decision cache's invalidation receipt (`None` when no cache is
+    /// enabled or the batch was a no-op — a no-op changes no decision, so
+    /// every resident entry stays valid).
+    pub cache: Option<InvalidationReport>,
 }
 
 impl LiveMatcher {
@@ -126,6 +142,7 @@ impl LiveMatcher {
             policy: Mutex::new(maintained),
             image: RwLock::new((Arc::new(image), Arc::new(fdd))),
             choice: RwLock::new(EngineChoice::default()),
+            cache: Mutex::new(None),
             epoch: AtomicU64::new(0),
         })
     }
@@ -153,6 +170,55 @@ impl LiveMatcher {
         *self.choice.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Installs an engine choice directly, bypassing calibration — for
+    /// callers that already measured (the bench harness) or were told
+    /// (`fwclass --engine`).
+    pub fn set_engine_choice(&self, choice: EngineChoice) {
+        *self.choice.write().unwrap_or_else(PoisonError::into_inner) = choice;
+    }
+
+    /// Enables the [`DecisionCache`] front end at `capacity` entries
+    /// (replacing any previous cache) and turns cached routing on for
+    /// [`classify_auto_into`](Self::classify_auto_into). A later
+    /// [`calibrate`](Self::calibrate) keeps the cache but may elect an
+    /// uncached winner — the cache then idles until traffic that favours
+    /// it is measured again.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DecisionCache::new`] (zero capacity).
+    pub fn enable_cache(&self, capacity: usize) -> Result<(), ExecError> {
+        let schema = self.load().schema().clone();
+        let cache = DecisionCache::new(schema, capacity)?;
+        *self.cache.lock().unwrap_or_else(PoisonError::into_inner) = Some(cache);
+        let mut choice = self.choice.write().unwrap_or_else(PoisonError::into_inner);
+        choice.cached = true;
+        Ok(())
+    }
+
+    /// Drops the cache front end and turns cached routing off, returning
+    /// the final stats (`None` if no cache was enabled).
+    pub fn disable_cache(&self) -> Option<CacheStats> {
+        let stats = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .map(|c| c.stats());
+        let mut choice = self.choice.write().unwrap_or_else(PoisonError::into_inner);
+        choice.cached = false;
+        stats
+    }
+
+    /// The cache's running counters (`None` when no cache is enabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|c| c.stats())
+    }
+
     /// Races every engine over a sample of `batch` against the current
     /// snapshot (walk included — the matcher keeps the source diagram on
     /// hand) and installs the winner for
@@ -170,8 +236,25 @@ impl LiveMatcher {
         rows: Option<&[Packet]>,
         max_threads: usize,
     ) -> Result<Calibration, ExecError> {
+        let capacity = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, DecisionCache::capacity);
         let (image, fdd) = self.load_pair();
-        let cal = crate::calibrate::calibrate(&image, Some(&fdd), rows, batch, max_threads)?;
+        // With a cache enabled, the cached arm races too (over a
+        // throwaway cache — the serving cache's residents are untouched);
+        // the installed winner carries `cached` accordingly, so skewed
+        // samples turn the front end on and uniform samples turn it off.
+        let cal = crate::calibrate::calibrate_with_cache(
+            &image,
+            Some(&fdd),
+            rows,
+            batch,
+            max_threads,
+            capacity,
+        )?;
         *self.choice.write().unwrap_or_else(PoisonError::into_inner) = cal.choice;
         Ok(cal)
     }
@@ -190,9 +273,20 @@ impl LiveMatcher {
         scratch: &mut EngineScratch,
         out: &mut Vec<Decision>,
     ) -> Result<(), ExecError> {
+        let choice = self.engine_choice();
+        if choice.cached {
+            let mut guard = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cache) = guard.as_mut() {
+                // Snapshot under the cache lock: every entry this batch
+                // inserts was decided by an image at least as new as the
+                // last invalidation that ran (see the field docs for the
+                // cross-edit soundness argument).
+                let (image, fdd) = self.load_pair();
+                return choice.classify_cached_into(&image, Some(&fdd), batch, cache, scratch, out);
+            }
+        }
         let (image, fdd) = self.load_pair();
-        self.engine_choice()
-            .classify_into(&image, Some(&fdd), None, batch, scratch, out)
+        choice.classify_into(&image, Some(&fdd), None, batch, scratch, out)
     }
 
     /// The current epoch: 0 at construction, +1 per published image.
@@ -242,6 +336,7 @@ impl LiveMatcher {
                 affected_packets,
                 maintain,
                 recompile: None,
+                cache: None,
             });
         }
         let fdd = policy.to_fdd()?;
@@ -250,12 +345,25 @@ impl LiveMatcher {
         *self.image.write().unwrap_or_else(PoisonError::into_inner) =
             (Arc::new(next), Arc::new(fdd));
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        // Invalidate AFTER publishing: once we hold the cache lock, any
+        // in-flight cached batch has finished its inserts, and the exact
+        // scan drops every resident entry inside the edit's region —
+        // including entries that batch inserted from the pre-edit
+        // snapshot. (Invalidate-before-publish would be unsound: an
+        // old-snapshot insert could land after the scan ran.)
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_mut()
+            .map(|c| c.invalidate(&impact));
         Ok(SwapReport {
             swapped: true,
             epoch,
             affected_packets,
             maintain,
             recompile: Some(stats),
+            cache,
         })
     }
 }
@@ -428,6 +536,68 @@ mod tests {
         for (p, d) in trace.packets().iter().zip(&auto) {
             assert_eq!(Some(*d), after_fw.decision_for(p));
         }
+    }
+
+    /// The cache front end must be invisible in decisions: cached serving
+    /// agrees with the column kernel, an edit's invalidation receipt rides
+    /// the swap report, and post-edit serving follows the new semantics
+    /// (the stale region was dropped exactly).
+    #[test]
+    fn cached_serving_agrees_and_survives_edits() {
+        let fw = fw_synth::Synthesizer::new(31).firewall(30);
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        live.enable_cache(1 << 12).unwrap();
+        assert!(live.engine_choice().cached);
+        let trace = fw_synth::PacketTrace::biased(&fw, 800, 0.3, 7);
+        let batch = PacketBatch::from_packets(fw.schema().clone(), trace.packets()).unwrap();
+        let mut scratch = EngineScratch::new();
+        let mut out = Vec::new();
+        for pass in 0..2 {
+            live.classify_auto_into(&batch, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(
+                out,
+                live.load().classify_columns(&batch).unwrap(),
+                "pass {pass}"
+            );
+        }
+        let stats = live.cache_stats().unwrap();
+        assert!(stats.hits > 0, "replaying the same batch must hit");
+
+        let flip = fw.rules()[0].with_decision(fw.rules()[0].decision().inverted());
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: 0,
+                rule: flip,
+            }])
+            .unwrap();
+        assert!(report.swapped);
+        assert!(
+            report.cache.is_some(),
+            "cache enabled ⇒ receipt rides along"
+        );
+        live.classify_auto_into(&batch, &mut scratch, &mut out)
+            .unwrap();
+        let after = live.policy();
+        for (p, d) in trace.packets().iter().zip(&out) {
+            assert_eq!(Some(*d), after.decision_for(p), "stale decision at {p}");
+        }
+
+        // A no-op batch invalidates nothing.
+        let keep = live.policy().rules()[1].clone();
+        let report = live
+            .apply_edits(&[Edit::Replace {
+                index: 1,
+                rule: keep,
+            }])
+            .unwrap();
+        assert!(!report.swapped);
+        assert_eq!(report.cache, None);
+
+        let final_stats = live.disable_cache().unwrap();
+        assert!(final_stats.hits >= stats.hits);
+        assert!(!live.engine_choice().cached);
+        assert_eq!(live.cache_stats(), None);
     }
 
     #[test]

@@ -293,6 +293,51 @@ impl SubgraphPool {
         Ok(())
     }
 
+    /// [`classify_auto_into`](Self::classify_auto_into) behind a
+    /// [`crate::DecisionCache`] front end, entries keyed by this image's
+    /// root index as the cache tag. A pool root index names one canonical
+    /// subfunction (`ConsId`) for the pool's lifetime — [`ensure`]
+    /// (SubgraphPool::ensure) returns the existing index for an equal
+    /// function and a fresh monotone index otherwise — so tenants dedup'd
+    /// onto the same root *share* hot entries while distinct roots never
+    /// collide. The one operation that breaks the mapping is a pool
+    /// rebuild (indices restart from zero): the owner must epoch-bump the
+    /// cache there, which the fleet registry does.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Model`] if the batch was built over a different
+    /// schema; [`ExecError::Invariant`] if the cache was.
+    pub fn classify_cached_into(
+        &self,
+        root: u32,
+        choice: EngineChoice,
+        batch: &PacketBatch,
+        cache: &mut crate::DecisionCache,
+        scratch: &mut crate::CacheScratch,
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ExecError> {
+        if batch.schema() != &self.schema {
+            return Err(ExecError::Model(fw_model::ModelError::ArityMismatch {
+                expected: self.schema.len(),
+                found: batch.schema().len(),
+            }));
+        }
+        if cache.schema() != &self.schema {
+            return Err(ExecError::Invariant(
+                "decision cache and subgraph pool schemas differ".into(),
+            ));
+        }
+        crate::cache::classify_cached_with(
+            cache,
+            u64::from(root),
+            batch,
+            scratch,
+            out,
+            |miss, miss_out| self.classify_auto_into(root, choice, miss, miss_out),
+        )
+    }
+
     /// Compiled nodes reachable from `root` — what this image would cost
     /// *standalone*; the difference against the nodes it actually added is
     /// the structural-sharing win.
@@ -454,6 +499,51 @@ mod tests {
         assert!(pool
             .classify_auto_into(root, EngineChoice::default(), &other, &mut got)
             .is_err());
+    }
+
+    /// Cached pool serving must agree with the plain column walk, share
+    /// entries between tenants dedup'd onto one root, and keep distinct
+    /// roots apart (the root index is the cache tag).
+    #[test]
+    fn cached_pool_serving_agrees_and_tags_by_root() {
+        let fw_a = paper::team_a();
+        let fw_b = paper::team_b();
+        let mut arena = ConsArena::new(fw_a.schema().clone());
+        let a = SuffixChain::build(&mut arena, fw_a.clone()).unwrap();
+        let b = SuffixChain::build(&mut arena, fw_b.clone()).unwrap();
+        let mut pool = SubgraphPool::new(fw_a.schema().clone());
+        let ra = pool.ensure(&arena, a.root()).unwrap();
+        let rb = pool.ensure(&arena, b.root()).unwrap();
+        assert_ne!(ra, rb);
+
+        let mut cache = crate::DecisionCache::new(fw_a.schema().clone(), 1 << 13).unwrap();
+        let mut scratch = crate::CacheScratch::new();
+        let choice = EngineChoice::default();
+        let trace = fw_synth::PacketTrace::biased(&fw_a, 400, 0.3, 3);
+        let batch = PacketBatch::from_trace(fw_a.schema().clone(), trace.packets()).unwrap();
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        // The same trace through both roots: decisions differ where the
+        // policies do, so tagged entries must never cross-contaminate.
+        for _pass in 0..2 {
+            for root in [ra, rb] {
+                pool.classify_columns_into(root, &batch, &mut expect)
+                    .unwrap();
+                pool.classify_cached_into(root, choice, &batch, &mut cache, &mut scratch, &mut got)
+                    .unwrap();
+                assert_eq!(got, expect, "root {root} diverged through the cache");
+            }
+        }
+        let stats = cache.stats();
+        // The second pass serves both roots warm (the capacity is sized so
+        // set-conflict evictions stay negligible at this load factor).
+        assert!(stats.hits >= batch.len() as u64 * 2);
+        // A dedup'd "second tenant" is the same root — its first pass is
+        // already warm.
+        let before = cache.stats().misses;
+        pool.classify_cached_into(ra, choice, &batch, &mut cache, &mut scratch, &mut got)
+            .unwrap();
+        assert_eq!(cache.stats().misses, before, "shared root serves warm");
     }
 
     #[test]

@@ -20,10 +20,13 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use fw_core::{ChangeImpact, ConsArena, ConsId, Edit, FxHasher, FxMap, MaintainStats, SuffixChain};
-use fw_exec::{EngineChoice, EngineKind, PacketBatch, SubgraphPool};
+use fw_exec::{
+    CacheScratch, CacheStats, DecisionCache, EngineChoice, EngineKind, InvalidationReport,
+    PacketBatch, SubgraphPool,
+};
 use fw_model::{Decision, Firewall, Packet, Rule, Schema};
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +128,27 @@ struct PolicyEntry {
     refs: usize,
 }
 
+/// Per-shard decision cache plus the scratch buffers the cached front end
+/// recycles between batches. Entries are tagged by compiled root index
+/// ([`SubgraphPool::classify_cached_into`]), so tenants that dedup'd onto
+/// one policy share hot entries, and a tag stays meaningful for as long as
+/// the pool is not rebuilt: `ensure` hands out the same index only for the
+/// same canonical function, so even entries under a released tag can never
+/// serve a wrong decision — they come back warm if the function returns.
+struct ShardCache {
+    cache: DecisionCache,
+    scratch: CacheScratch,
+}
+
+impl ShardCache {
+    fn new(schema: &Schema, capacity: usize) -> Result<ShardCache, FleetError> {
+        Ok(ShardCache {
+            cache: DecisionCache::new(schema.clone(), capacity)?,
+            scratch: CacheScratch::new(),
+        })
+    }
+}
+
 /// All state for one schema: arena + rule store + compiled pool + the
 /// distinct policies over them.
 struct Shard {
@@ -137,6 +161,13 @@ struct Shard {
     /// Compiled nodes reachable only from removed policy roots; once this
     /// dominates `pool.node_count()` the pool is rebuilt from live roots.
     pool_dead: usize,
+    /// Skew-exploiting decision cache shared by every tenant in the shard,
+    /// `None` until [`PolicyRegistry::enable_cache`] provisions it. The
+    /// mutex covers one whole cached batch; serving takes it under the
+    /// registry read lock, and writers only touch it through `get_mut`
+    /// while holding the registry write lock, so the two locks never
+    /// deadlock.
+    cache: Mutex<Option<ShardCache>>,
 }
 
 impl fmt::Debug for Shard {
@@ -159,6 +190,22 @@ impl Shard {
             store: RuleStore::default(),
             policies: FxMap::default(),
             pool_dead: 0,
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Epoch-bump the shard cache, forgetting every resident entry. Must
+    /// run whenever compiled root indices are reassigned (pool rebuild):
+    /// tags alias across rebuilds, so a stale entry could otherwise serve
+    /// another policy's decision.
+    fn flush_cache(&mut self) {
+        if let Some(sc) = self
+            .cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            sc.cache.bump_epoch();
         }
     }
 
@@ -285,6 +332,7 @@ impl Shard {
         }
         self.pool = pool;
         self.pool_dead = 0;
+        self.flush_cache();
         Ok(())
     }
 
@@ -345,15 +393,23 @@ struct TenantState {
 struct Inner {
     shards: Vec<Shard>,
     tenants: FxMap<TenantId, TenantState>,
+    /// Requested decision-cache capacity per shard; 0 means caching is
+    /// off. New shards are provisioned to match on creation.
+    cache_capacity: usize,
 }
 
 impl Inner {
-    fn shard_for(&mut self, schema: &Schema) -> usize {
+    fn shard_for(&mut self, schema: &Schema) -> Result<usize, FleetError> {
         if let Some(i) = self.shards.iter().position(|s| &s.schema == schema) {
-            return i;
+            return Ok(i);
         }
-        self.shards.push(Shard::new(schema.clone()));
-        self.shards.len() - 1
+        let mut shard = Shard::new(schema.clone());
+        if self.cache_capacity > 0 {
+            *shard.cache.get_mut().unwrap_or_else(|e| e.into_inner()) =
+                Some(ShardCache::new(schema, self.cache_capacity)?);
+        }
+        self.shards.push(shard);
+        Ok(self.shards.len() - 1)
     }
 
     fn state(&self, tenant: TenantId) -> Result<TenantState, FleetError> {
@@ -361,6 +417,26 @@ impl Inner {
             .get(&tenant)
             .copied()
             .ok_or(FleetError::UnknownTenant(tenant))
+    }
+
+    /// Aggregated decision-cache counters across shards, `None` when
+    /// caching is off.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        if self.cache_capacity == 0 {
+            return None;
+        }
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            if let Some(sc) = shard
+                .cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
+                total.merge(&sc.cache.stats());
+            }
+        }
+        Some(total)
     }
 }
 
@@ -381,6 +457,12 @@ pub struct EditReceipt {
     /// Whether the post-edit policy collapsed onto another fleet policy
     /// (content dedup), so the tenant now shares that image.
     pub merged: bool,
+    /// Decision-cache invalidation for this batch: `Some` when a cache is
+    /// enabled, the function changed, and the pre-edit policy was fully
+    /// released. While another tenant still serves the pre-edit policy its
+    /// entries stay resident — they are still correct for that tenant —
+    /// so there is nothing to invalidate and this is `None`.
+    pub cache: Option<InvalidationReport>,
 }
 
 /// A point-in-time summary of registry occupancy and sharing.
@@ -403,6 +485,9 @@ pub struct FleetStats {
     /// Approximate resident bytes of all shared structure plus the
     /// tenant table.
     pub approx_bytes: usize,
+    /// Aggregated decision-cache counters across all shards, `None` when
+    /// caching is off.
+    pub cache: Option<CacheStats>,
 }
 
 impl FleetStats {
@@ -464,6 +549,82 @@ impl PolicyRegistry {
         *self.choice.write().unwrap_or_else(|e| e.into_inner()) = choice;
     }
 
+    /// Provision a per-shard [`DecisionCache`] of `capacity` entries
+    /// (rounded up per shard to a power-of-two slot count) and route batch
+    /// serving through it. Entries are tagged by compiled root index, so
+    /// tenants that dedup'd onto one policy share hot entries. Existing
+    /// and future shards are covered; previous cache contents are
+    /// discarded. `capacity` 0 is equivalent to
+    /// [`disable_cache`](PolicyRegistry::disable_cache).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Exec`] if a shard cache cannot be built (unreachable
+    /// for non-zero capacities).
+    pub fn enable_cache(&self, capacity: usize) -> Result<(), FleetError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        inner.cache_capacity = capacity;
+        for shard in &mut inner.shards {
+            let provisioned = if capacity == 0 {
+                None
+            } else {
+                Some(ShardCache::new(&shard.schema, capacity)?)
+            };
+            *shard.cache.get_mut().unwrap_or_else(|e| e.into_inner()) = provisioned;
+        }
+        Ok(())
+    }
+
+    /// Drop every shard cache and stop routing batch serving through the
+    /// cached front end. Returns the aggregated lifetime counters, `None`
+    /// when no cache was enabled.
+    pub fn disable_cache(&self) -> Option<CacheStats> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        if inner.cache_capacity == 0 {
+            return None;
+        }
+        inner.cache_capacity = 0;
+        let mut total = CacheStats::default();
+        for shard in &mut inner.shards {
+            if let Some(sc) = shard
+                .cache
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                total.merge(&sc.cache.stats());
+            }
+        }
+        Some(total)
+    }
+
+    /// Zeroes every shard cache's counters; resident entries stay warm.
+    /// A no-op when caching is off.
+    pub fn reset_cache_stats(&self) {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        for shard in &mut guard.shards {
+            if let Some(sc) = shard
+                .cache
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_mut()
+            {
+                sc.cache.reset_stats();
+            }
+        }
+    }
+
+    /// Aggregated decision-cache counters across all shards, `None` when
+    /// caching is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache_stats()
+    }
+
     /// Register `tenant` with `policy`. Returns `true` when the policy
     /// deduplicated onto an already-registered identical policy.
     ///
@@ -477,7 +638,7 @@ impl PolicyRegistry {
         if inner.tenants.contains_key(&tenant) {
             return Err(FleetError::DuplicateTenant(tenant));
         }
-        let shard_idx = inner.shard_for(policy.schema());
+        let shard_idx = inner.shard_for(policy.schema())?;
         let shard = &mut inner.shards[shard_idx];
         let hash = policy_hash(&policy);
         let deduped = shard.content_matches(hash, &policy)?;
@@ -574,6 +735,24 @@ impl PolicyRegistry {
             .policies
             .get(&state.hash)
             .expect("registry invariant: tenant points at a live policy");
+        // Cached front end when a shard cache is provisioned: the mutex is
+        // held for the whole batch (probe, compacted miss classification,
+        // insert), which keeps probes coherent with writer-side
+        // invalidation — writers mutate the cache only under the registry
+        // write lock, which excludes this read path entirely.
+        let mut slot = shard.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sc) = slot.as_mut() {
+            shard.pool.classify_cached_into(
+                entry.root_node,
+                self.engine_choice(),
+                batch,
+                &mut sc.cache,
+                &mut sc.scratch,
+                out,
+            )?;
+            return Ok(());
+        }
+        drop(slot);
         shard
             .pool
             .classify_auto_into(entry.root_node, self.engine_choice(), batch, out)?;
@@ -601,11 +780,13 @@ impl PolicyRegistry {
         let inner = &mut *guard;
         let state = inner.state(tenant)?;
         let shard = &mut inner.shards[state.shard];
-        let old_root = shard
-            .policies
-            .get(&state.hash)
-            .expect("registry invariant: tenant points at a live policy")
-            .root;
+        let (old_root, old_root_node) = {
+            let entry = shard
+                .policies
+                .get(&state.hash)
+                .expect("registry invariant: tenant points at a live policy");
+            (entry.root, entry.root_node)
+        };
 
         // Rebuild the ephemeral chain; hash-consing guarantees the rebuilt
         // root is bit-identical to the stored one.
@@ -622,6 +803,7 @@ impl PolicyRegistry {
         let affected_packets = impact.affected_packets_in(new_firewall.schema());
 
         let new_hash = policy_hash(&new_firewall);
+        let mut cache_report = None;
         let merged = if new_hash == state.hash {
             // Textually identical policy (e.g. replace-with-same); nothing
             // to rebind. `swapped` is necessarily false here.
@@ -631,6 +813,29 @@ impl PolicyRegistry {
             // Attach before release so a failure leaves the tenant bound.
             shard.attach_policy(new_hash, &new_firewall, new_root)?;
             shard.release_policy(state.hash);
+            // Exact, tag-scoped invalidation — only once the pre-edit
+            // policy is fully released. While another tenant still serves
+            // it, its entries remain correct for that tenant, and the
+            // edited tenant moved to a different tag, so nothing is stale.
+            // Entries outside the edit's discrepancy region survive under
+            // the released tag: `ensure` re-issues that tag only for the
+            // same canonical function, so they come back warm (and still
+            // correct) if any tenant edits back onto the old policy. Must
+            // run before `maybe_rebuild_pool` — a rebuild reassigns root
+            // indices, after which the old tag may alias a live policy.
+            if !shard.policies.contains_key(&state.hash) {
+                if let Some(sc) = shard
+                    .cache
+                    .get_mut()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_mut()
+                {
+                    cache_report = Some(
+                        sc.cache
+                            .invalidate_tagged(u64::from(old_root_node), &impact),
+                    );
+                }
+            }
             merged
         };
         shard.maybe_compact_arena();
@@ -656,6 +861,7 @@ impl PolicyRegistry {
             affected_packets,
             maintain,
             merged,
+            cache: cache_report,
         })
     }
 
@@ -702,6 +908,7 @@ impl PolicyRegistry {
             distinct_rules: 0,
             approx_bytes: guard.tenants.len()
                 * (std::mem::size_of::<(TenantId, TenantState)>() + 16),
+            cache: guard.cache_stats(),
         };
         for shard in &guard.shards {
             let roots: Vec<ConsId> = shard.policies.values().map(|e| e.root).collect();
@@ -739,6 +946,7 @@ impl PolicyRegistry {
             }
             shard.pool = pool;
             shard.pool_dead = 0;
+            shard.flush_cache();
             shard.rebuild_store();
         }
         Ok(())
@@ -1025,5 +1233,144 @@ mod tests {
         // Rule interning: 32 near-copies of an 80-rule policy must not
         // store 32×80 distinct rules.
         assert!(stats.distinct_rules < 2 * base.len() + 8 * 32);
+    }
+
+    #[test]
+    fn cached_fleet_serving_agrees_and_shares_warm_entries() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        registry.add_tenant(TenantId(2), paper::team_a()).unwrap();
+        registry.add_tenant(TenantId(3), paper::team_b()).unwrap();
+        let a = paper::team_a();
+        let rows = packets(a.schema(), 5, 512);
+        let batch = PacketBatch::from_packets(a.schema().clone(), &rows).unwrap();
+        let baseline_a = registry.classify_batch(TenantId(1), &batch).unwrap();
+        let baseline_b = registry.classify_batch(TenantId(3), &batch).unwrap();
+        assert!(registry.cache_stats().is_none());
+        assert!(registry.stats().cache.is_none());
+
+        // Capacity sized so set-conflict evictions are negligible for the
+        // working set below.
+        registry.enable_cache(1 << 14).unwrap();
+        // Cold pass warms the tag tenants 1 and 2 dedup'd onto.
+        assert_eq!(
+            registry.classify_batch(TenantId(1), &batch).unwrap(),
+            baseline_a
+        );
+        let after_warm = registry.cache_stats().unwrap();
+        assert_eq!(after_warm.hits, 0);
+        assert!(after_warm.insertions > 0);
+        // Tenant 2 shares the policy entry, hence the tag: pure hits.
+        assert_eq!(
+            registry.classify_batch(TenantId(2), &batch).unwrap(),
+            baseline_a
+        );
+        let after_shared = registry.cache_stats().unwrap();
+        assert_eq!(
+            after_shared.misses, after_warm.misses,
+            "dedup'd tenant must reuse warm entries"
+        );
+        assert_eq!(after_shared.hits, batch.len() as u64);
+        // A different policy is a different tag: no cross-talk.
+        assert_eq!(
+            registry.classify_batch(TenantId(3), &batch).unwrap(),
+            baseline_b
+        );
+        assert_eq!(registry.stats().cache, registry.cache_stats());
+
+        let lifetime = registry.disable_cache().unwrap();
+        assert!(lifetime.hits >= batch.len() as u64);
+        assert!(registry.disable_cache().is_none());
+        // Serving still works uncached.
+        assert_eq!(
+            registry.classify_batch(TenantId(1), &batch).unwrap(),
+            baseline_a
+        );
+    }
+
+    #[test]
+    fn cached_edits_invalidate_on_full_release_only() {
+        let registry = PolicyRegistry::new();
+        registry.add_tenant(TenantId(1), paper::team_a()).unwrap();
+        registry.add_tenant(TenantId(2), paper::team_a()).unwrap();
+        registry.enable_cache(1 << 14).unwrap();
+        let a = paper::team_a();
+        // Witnesses guarantee the warm set contains at least one packet in
+        // the edit's discrepancy region below.
+        let mut rows = packets(a.schema(), 41, 400);
+        rows.extend(a.witnesses());
+        let batch = PacketBatch::from_packets(a.schema().clone(), &rows).unwrap();
+        registry.classify_batch(TenantId(1), &batch).unwrap();
+
+        let rules = a.rules().to_vec();
+        let flipped = rules[0].with_decision(match rules[0].decision() {
+            Decision::Accept => Decision::Discard,
+            _ => Decision::Accept,
+        });
+
+        // Tenant 1 forks away; tenant 2 still serves the old policy, so
+        // its warm entries must be kept: no invalidation.
+        let receipt = registry
+            .apply_edits(
+                TenantId(1),
+                &[Edit::Replace {
+                    index: 0,
+                    rule: flipped.clone(),
+                }],
+            )
+            .unwrap();
+        assert!(receipt.swapped);
+        assert_eq!(receipt.cache, None);
+
+        // The same edit on tenant 2 fully releases the old policy (and
+        // merges onto tenant 1's): now the edit's region is dropped from
+        // the released tag.
+        let receipt = registry
+            .apply_edits(
+                TenantId(2),
+                &[Edit::Replace {
+                    index: 0,
+                    rule: flipped,
+                }],
+            )
+            .unwrap();
+        assert!(receipt.swapped);
+        assert!(receipt.merged);
+        let report = receipt.cache.expect("old policy fully released");
+        assert!(report.invalidated > 0, "a warm witness sits in the region");
+
+        // Post-edit serving is correct for both tenants, cached.
+        let edited = registry.policy(TenantId(1)).unwrap();
+        for tenant in [TenantId(1), TenantId(2)] {
+            let got = registry.classify_batch(tenant, &batch).unwrap();
+            for (p, d) in rows.iter().zip(&got) {
+                assert_eq!(*d, edited.decision_for(p).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_flushes_the_cache_and_serving_stays_correct() {
+        let registry = PolicyRegistry::new();
+        let base = fw_synth::Synthesizer::new(77).firewall(40);
+        registry.add_tenant(TenantId(1), base.clone()).unwrap();
+        registry.enable_cache(1 << 14).unwrap();
+        let pkts = packets(base.schema(), 9, 256);
+        let batch = PacketBatch::from_packets(base.schema().clone(), &pkts).unwrap();
+        let baseline = registry.classify_batch(TenantId(1), &batch).unwrap();
+        let warm = registry.cache_stats().unwrap();
+        assert!(warm.insertions > 0);
+
+        // Maintenance rebuilds every pool; root indices restart from zero,
+        // so tags alias and the cache must forget everything.
+        registry.maintenance().unwrap();
+        let flushed = registry.cache_stats().unwrap();
+        assert!(flushed.invalidated > 0, "pool rebuild must flush the cache");
+        assert_eq!(
+            registry.classify_batch(TenantId(1), &batch).unwrap(),
+            baseline
+        );
+        let after = registry.cache_stats().unwrap();
+        assert!(after.misses > warm.misses, "flush forces re-misses");
     }
 }

@@ -70,6 +70,49 @@ impl PacketTrace {
         PacketTrace { schema, packets }
     }
 
+    /// Generates `n` packets drawn Zipf-style from a pool of repeated
+    /// flows, modelling the heavy skew of real traffic (a handful of
+    /// elephant flows dominate; most flows are mice). The flow pool is a
+    /// [`PacketTrace::biased`] sample over `fw` (so hot flows sit on rule
+    /// boundaries, not in the catch-all), and flow `k` (1-based by rank)
+    /// is drawn with probability proportional to `k^-s`. Larger `s` means
+    /// heavier skew; `s = 0` degenerates to uniform-over-pool.
+    /// Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not finite and non-negative.
+    pub fn zipf(fw: &fw_model::Firewall, n: usize, s: f64, seed: u64) -> PacketTrace {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        let schema = fw.schema().clone();
+        // Pool size scales with the trace so hit rates reflect skew, not a
+        // trivially tiny working set.
+        let flows = (n / 16).clamp(1, 4096);
+        let pool = PacketTrace::biased(fw, flows, 0.3, seed ^ 0x9e37_79b9_7f4a_7c15);
+        // Inverse-CDF sampling over the (unnormalised) generalised
+        // harmonic weights k^-s.
+        let mut acc = 0.0f64;
+        let cdf: Vec<f64> = (1..=flows)
+            .map(|k| {
+                acc += (k as f64).powf(-s);
+                acc
+            })
+            .collect();
+        let total = acc;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let packets = (0..n)
+            .map(|_| {
+                let u = rng.random::<f64>() * total;
+                let idx = cdf.partition_point(|&c| c < u).min(flows - 1);
+                pool.packets[idx].clone()
+            })
+            .collect();
+        PacketTrace { schema, packets }
+    }
+
     /// Wraps existing packets (validating each against the schema).
     ///
     /// # Errors
@@ -257,6 +300,46 @@ mod tests {
             PacketTrace::biased(&fw, 50, 0.5, 9),
             PacketTrace::biased(&fw, 50, 0.5, 9)
         );
+    }
+
+    #[test]
+    fn zipf_traces_are_deterministic_valid_and_skewed() {
+        use fw_model::paper;
+        use std::collections::HashMap;
+        let fw = paper::team_a();
+        let t = PacketTrace::zipf(&fw, 4000, 1.0, 11);
+        assert_eq!(t.len(), 4000);
+        for p in t.packets() {
+            p.validate(fw.schema()).unwrap();
+        }
+        assert_eq!(t, PacketTrace::zipf(&fw, 4000, 1.0, 11));
+        assert_ne!(t, PacketTrace::zipf(&fw, 4000, 1.0, 12));
+
+        // Skew shape: under s = 1.0 the single hottest flow must carry far
+        // more than its uniform share (pool is 4000/16 = 250 flows, so
+        // uniform would give ~16 repeats), and heavier exponents
+        // concentrate harder.
+        let top_share = |trace: &PacketTrace| {
+            let mut counts: HashMap<&[u64], usize> = HashMap::new();
+            for p in trace.packets() {
+                *counts.entry(p.values()).or_default() += 1;
+            }
+            counts.into_values().max().unwrap()
+        };
+        let hot_1 = top_share(&t);
+        assert!(hot_1 > 200, "hottest flow carried only {hot_1}/4000");
+        let hot_0 = top_share(&PacketTrace::zipf(&fw, 4000, 0.0, 11));
+        let hot_2 = top_share(&PacketTrace::zipf(&fw, 4000, 2.0, 11));
+        assert!(
+            hot_0 < hot_1 && hot_1 < hot_2,
+            "{hot_0} < {hot_1} < {hot_2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn zipf_rejects_bad_exponent() {
+        let _ = PacketTrace::zipf(&fw_model::paper::team_a(), 1, f64::NAN, 0);
     }
 
     #[test]

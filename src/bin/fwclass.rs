@@ -5,9 +5,10 @@
 //! ```text
 //! USAGE:
 //!     fwclass [--schema tcp-ip|paper] [--format dsl|iptables]
-//!             [--trace FILE | --random N | --biased N] [--scatter F]
-//!             [--seed S] [--engine scalar|columns|lanes|auto]
-//!             [--lane-width W] [--threads T]
+//!             [--trace FILE | --random N | --biased N | --zipf N]
+//!             [--scatter F] [--zipf-s S] [--seed S]
+//!             [--engine scalar|columns|lanes|auto]
+//!             [--lane-width W] [--threads T] [--cache CAP]
 //!             [--save-trace FILE] [--save-compiled FILE]
 //!             [--edits FILE] [--check] <policy.fw>
 //!
@@ -23,14 +24,26 @@
 //!     --threads T       worker threads for the parallel lane pipeline and
 //!                       the calibrator's thread ladder (default 1; 0 means
 //!                       every available core)
+//!     --cache CAP       front the replay with a CAP-entry decision cache:
+//!                       hits serve from the cache, misses go through the
+//!                       selected engine and are inserted back. The timed
+//!                       replay runs warm (an untimed fill pass precedes
+//!                       it) and a cache stats line (hits/misses/hit rate)
+//!                       prints after it. With --engine auto the
+//!                       calibrator races a `cache+` arm too and its trial
+//!                       line is printed with the rest
 //!
 //! TRACE SOURCE (default --random 100000):
 //!     --trace FILE    replay a trace file written by --save-trace (or the
 //!                     bench harness) instead of synthesizing one
 //!     --random N      N uniformly random packets over the schema
 //!     --biased N      N packets biased toward the policy's rule regions
+//!     --zipf N        N packets drawn Zipf-style from a pool of repeated
+//!                     flows — the skewed shape the decision cache exists
+//!                     for
 //!     --scatter F     per-field re-randomisation probability for --biased
 //!                     (default 0.3)
+//!     --zipf-s S      Zipf exponent for --zipf (default 1.0)
 //!     --seed S        RNG seed for synthesized traces (default 1)
 //!
 //! OUTPUT:
@@ -69,10 +82,10 @@ use diverse_firewall::synth::PacketTrace;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: fwclass [--schema tcp-ip|paper] [--format dsl|iptables] \
-         [--trace FILE | --random N | --biased N] [--scatter F] [--seed S] \
-         [--engine scalar|columns|lanes|auto] [--lane-width W] [--threads T] \
-         [--save-trace FILE] [--save-compiled FILE] [--edits FILE] \
-         [--check] <policy.fw>"
+         [--trace FILE | --random N | --biased N | --zipf N] [--scatter F] \
+         [--zipf-s S] [--seed S] [--engine scalar|columns|lanes|auto] \
+         [--lane-width W] [--threads T] [--cache CAP] [--save-trace FILE] \
+         [--save-compiled FILE] [--edits FILE] [--check] <policy.fw>"
     );
     ExitCode::from(2)
 }
@@ -80,6 +93,7 @@ fn usage() -> ExitCode {
 enum TraceSource {
     Random(usize),
     Biased(usize),
+    Zipf(usize),
     File(String),
 }
 
@@ -107,10 +121,12 @@ fn main() -> ExitCode {
     let mut iptables = false;
     let mut source = TraceSource::Random(100_000);
     let mut scatter = 0.3f64;
+    let mut zipf_s = 1.0f64;
     let mut seed = 1u64;
     let mut engine = Engine::Scalar;
     let mut lane_width = diverse_firewall::exec::DEFAULT_LANE_WIDTH;
     let mut threads = 1usize;
+    let mut cache_capacity = 0usize;
     let mut save_trace: Option<String> = None;
     let mut save_compiled: Option<String> = None;
     let mut edits_file: Option<String> = None;
@@ -157,10 +173,24 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--zipf" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => source = TraceSource::Zipf(n),
+                None => {
+                    eprintln!("fwclass: --zipf needs a packet count");
+                    return usage();
+                }
+            },
             "--scatter" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
                 Some(f) if (0.0..=1.0).contains(&f) => scatter = f,
                 _ => {
                     eprintln!("fwclass: --scatter needs a probability in 0..=1");
+                    return usage();
+                }
+            },
+            "--zipf-s" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(s) if s.is_finite() && s >= 0.0 => zipf_s = s,
+                _ => {
+                    eprintln!("fwclass: --zipf-s needs a finite non-negative exponent");
                     return usage();
                 }
             },
@@ -192,6 +222,13 @@ fn main() -> ExitCode {
                 Some(t) => threads = t,
                 None => {
                     eprintln!("fwclass: --threads needs an integer (0 = all cores)");
+                    return usage();
+                }
+            },
+            "--cache" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(c) if c >= 1 => cache_capacity = c,
+                _ => {
+                    eprintln!("fwclass: --cache needs a positive entry capacity");
                     return usage();
                 }
             },
@@ -274,6 +311,7 @@ fn main() -> ExitCode {
     let trace = match &source {
         TraceSource::Random(n) => PacketTrace::random(schema.clone(), *n, seed),
         TraceSource::Biased(n) => PacketTrace::biased(&fw, *n, scatter, seed),
+        TraceSource::Zipf(n) => PacketTrace::zipf(&fw, *n, zipf_s, seed),
         TraceSource::File(path) => match PacketTrace::read_from(schema.clone(), path) {
             Ok(t) => t,
             Err(e) => {
@@ -304,7 +342,7 @@ fn main() -> ExitCode {
     // Column engines transpose up front; the transpose (with its one-pass
     // per-column validation) is deliberately outside the timed region, the
     // same way the bench harness amortises it over a replayed batch.
-    let batch = if engine == Engine::Scalar {
+    let batch = if engine == Engine::Scalar && cache_capacity == 0 {
         None
     } else {
         match diverse_firewall::exec::PacketBatch::from_trace(schema.clone(), trace.packets()) {
@@ -327,12 +365,15 @@ fn main() -> ExitCode {
             }
         };
         let b = batch.as_ref().expect("batch built for every column engine");
-        let cal = match diverse_firewall::exec::calibrate(
+        // A zero capacity makes this the plain `calibrate` race; with
+        // --cache the `cache+` arm runs too and prints with the trials.
+        let cal = match diverse_firewall::exec::calibrate_with_cache(
             &compiled,
             Some(&fdd),
             Some(trace.packets()),
             b,
             threads,
+            cache_capacity,
         ) {
             Ok(c) => c,
             Err(e) => {
@@ -349,39 +390,107 @@ fn main() -> ExitCode {
         None
     };
 
-    let t = Instant::now();
+    let mut cache = if cache_capacity > 0 {
+        match diverse_firewall::exec::DecisionCache::new(schema.clone(), cache_capacity) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("fwclass: --cache: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let mut decisions = Vec::new();
-    let classified = match (engine, &batch) {
-        (Engine::Scalar, _) => {
-            compiled.classify_batch_into(trace.packets(), &mut decisions);
-            Ok(())
-        }
-        (Engine::Columns, Some(b)) => compiled.classify_columns_into(b, &mut decisions),
-        (Engine::Lanes, Some(b)) if threads == 1 => compiled.classify_lanes_into(
-            b,
-            lane_width,
-            &mut diverse_firewall::exec::LaneScratch::new(),
-            &mut decisions,
-        ),
-        (Engine::Lanes, Some(b)) => compiled.classify_lanes_par_into(
-            b,
-            lane_width,
-            threads,
-            &mut diverse_firewall::exec::ParScratch::default(),
-            &mut decisions,
-        ),
-        (Engine::Auto, Some(b)) => {
-            let (choice, fdd) = calibrated.as_ref().expect("calibrated above");
-            choice.classify_into(
-                &compiled,
-                Some(fdd),
-                Some(trace.packets()),
+    // With --cache, one untimed fill pass leaves the trace's distinct
+    // tuples resident so the timed replay measures warm serving — the
+    // steady state a long-lived flow cache actually runs in. The batch
+    // front end partitions before inserting, so a cold pass can never hit
+    // its own insertions and would only time the fill.
+    let cached_plan = cache.as_mut().map(|cache| {
+        use diverse_firewall::exec::{EngineChoice, EngineKind};
+        let (choice, walk) = match (&calibrated, engine) {
+            (Some((choice, fdd)), _) => (choice.with_cache(), Some(fdd)),
+            (None, Engine::Scalar) => (
+                EngineChoice {
+                    kind: EngineKind::Scalar,
+                    lane_width: 0,
+                    threads: 1,
+                    cached: true,
+                },
+                None,
+            ),
+            (None, Engine::Columns) => (
+                EngineChoice {
+                    kind: EngineKind::Columns,
+                    lane_width: 0,
+                    threads: 1,
+                    cached: true,
+                },
+                None,
+            ),
+            (None, _) => (
+                EngineChoice {
+                    kind: EngineKind::Lanes,
+                    lane_width,
+                    threads,
+                    cached: true,
+                },
+                None,
+            ),
+        };
+        let b = batch
+            .as_ref()
+            .expect("batch built whenever the cache is on");
+        let mut scratch = diverse_firewall::exec::EngineScratch::default();
+        let fill =
+            choice.classify_cached_into(&compiled, walk, b, cache, &mut scratch, &mut decisions);
+        cache.reset_stats();
+        (choice, walk, scratch, fill)
+    });
+    let t = Instant::now();
+    let classified = if let Some((choice, walk, mut scratch, fill)) = cached_plan {
+        let cache = cache.as_mut().expect("plan implies cache");
+        let b = batch
+            .as_ref()
+            .expect("batch built whenever the cache is on");
+        fill.and_then(|()| {
+            choice.classify_cached_into(&compiled, walk, b, cache, &mut scratch, &mut decisions)
+        })
+    } else {
+        match (engine, &batch) {
+            (Engine::Scalar, _) => {
+                compiled.classify_batch_into(trace.packets(), &mut decisions);
+                Ok(())
+            }
+            (Engine::Columns, Some(b)) => compiled.classify_columns_into(b, &mut decisions),
+            (Engine::Lanes, Some(b)) if threads == 1 => compiled.classify_lanes_into(
                 b,
-                &mut diverse_firewall::exec::EngineScratch::default(),
+                lane_width,
+                &mut diverse_firewall::exec::LaneScratch::new(),
                 &mut decisions,
-            )
+            ),
+            (Engine::Lanes, Some(b)) => compiled.classify_lanes_par_into(
+                b,
+                lane_width,
+                threads,
+                &mut diverse_firewall::exec::ParScratch::default(),
+                &mut decisions,
+            ),
+            (Engine::Auto, Some(b)) => {
+                let (choice, fdd) = calibrated.as_ref().expect("calibrated above");
+                choice.classify_into(
+                    &compiled,
+                    Some(fdd),
+                    Some(trace.packets()),
+                    b,
+                    &mut diverse_firewall::exec::EngineScratch::default(),
+                    &mut decisions,
+                )
+            }
+            _ => unreachable!("batch built for every column engine"),
         }
-        _ => unreachable!("batch built for every column engine"),
     };
     if let Err(e) = classified {
         eprintln!("fwclass: classification failed: {e}");
@@ -408,9 +517,20 @@ fn main() -> ExitCode {
     let mpps = |n: usize, secs: f64| n as f64 / secs / 1e6;
     let n = trace.len();
     let engine_label = match &calibrated {
+        Some((choice, _)) if cache.is_some() => format!("auto -> {}", choice.with_cache()),
         Some((choice, _)) => format!("auto -> {choice}"),
-        None if engine == Engine::Lanes && threads != 1 => format!("lanes, {threads} thread(s)"),
-        None => engine.name().to_string(),
+        None => {
+            let base = if engine == Engine::Lanes && threads != 1 {
+                format!("lanes, {threads} thread(s)")
+            } else {
+                engine.name().to_string()
+            };
+            if cache.is_some() {
+                format!("cache+{base}")
+            } else {
+                base
+            }
+        }
     };
     println!(
         "compiled matcher ({engine_label}): {compiled_time:?} ({:.2} Mpps, compile {:.0} µs) | \
@@ -420,6 +540,20 @@ fn main() -> ExitCode {
         mpps(n, linear_time.as_secs_f64()),
         linear_time.as_secs_f64() / compiled_time.as_secs_f64()
     );
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        println!(
+            "cache: {} slot(s), {} resident | {} hit(s), {} miss(es), {} insertion(s), \
+             {} evicted | hit rate {:.1}%",
+            cache.capacity(),
+            cache.len(),
+            s.hits,
+            s.misses,
+            s.insertions,
+            s.evicted,
+            100.0 * s.hit_rate()
+        );
+    }
 
     if decisions != linear {
         eprintln!(

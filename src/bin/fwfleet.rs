@@ -6,7 +6,7 @@
 //! USAGE:
 //!     fwfleet [--schema tcp-ip|paper] [--rules N | <policy.fw>]
 //!             [--tenants N] [--percent X] [--seed S]
-//!             [--random N] [--verify]
+//!             [--random N] [--verify] [--cache CAP]
 //!             [--tenant T --edits FILE]
 //!             [--save-dir DIR | --load-dir DIR]
 //!
@@ -27,6 +27,15 @@
 //!                     aggregate throughput
 //!     --verify        also check every decision against the tenant's
 //!                     standalone first-match scan
+//!     --cache CAP     enable the per-shard decision cache (CAP entries per
+//!                     shard) before serving: the --random trace is then
+//!                     served as one batch per tenant through the cached
+//!                     route, twice — an untimed fill round, then the timed
+//!                     warm round — and dedup'd tenants on the same shard
+//!                     share warm entries. Prints the aggregated cache
+//!                     stats (hits/misses/invalidations/hit rate), and an
+//!                     edit receipt's exact-invalidation report when
+//!                     --edits runs with the cache on
 //!
 //! EDITS:
 //!     --tenant T      tenant id for --edits
@@ -58,7 +67,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: fwfleet [--schema tcp-ip|paper] [--rules N | <policy.fw>] \
          [--tenants N] [--percent X] [--seed S] [--random N] [--verify] \
-         [--tenant T --edits FILE] [--save-dir DIR | --load-dir DIR]"
+         [--cache CAP] [--tenant T --edits FILE] \
+         [--save-dir DIR | --load-dir DIR]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +81,7 @@ fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut random: Option<usize> = None;
     let mut verify = false;
+    let mut cache_capacity = 0usize;
     let mut tenant: Option<u64> = None;
     let mut edits_file: Option<String> = None;
     let mut save_dir: Option<String> = None;
@@ -124,6 +135,13 @@ fn main() -> ExitCode {
                 }
             },
             "--verify" => verify = true,
+            "--cache" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(c) if c >= 1 => cache_capacity = c,
+                _ => {
+                    eprintln!("fwfleet: --cache needs a positive entry capacity");
+                    return usage();
+                }
+            },
             "--tenant" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(t) => tenant = Some(t),
                 None => {
@@ -220,6 +238,14 @@ fn main() -> ExitCode {
         registry
     };
 
+    if cache_capacity > 0 {
+        if let Err(e) = registry.enable_cache(cache_capacity) {
+            eprintln!("fwfleet: --cache: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("decision cache enabled: {cache_capacity} entr(ies) per shard");
+    }
+
     let stats = registry.stats();
     println!(
         "registry: {} tenants, {} distinct policies, {} shard(s) | arena {} nodes \
@@ -250,41 +276,117 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let trace = PacketTrace::random(schema, n, seed);
-        let t = Instant::now();
+        let trace = PacketTrace::random(schema.clone(), n, seed);
         let mut counts = vec![0usize; diverse_firewall::model::Decision::ALL.len()];
-        for (i, p) in trace.packets().iter().enumerate() {
-            let tenant = ids[i % ids.len()];
-            match registry.classify(tenant, p) {
-                Ok(d) => counts[d.code() as usize] += 1,
-                Err(e) => {
-                    eprintln!("fwfleet: classifying packet {i} for {tenant}: {e}");
+        if cache_capacity > 0 {
+            // Cached serving is batched: the same trace goes to every
+            // tenant as one batch, so dedup'd tenants on a shard hit the
+            // entries their siblings filled.
+            let batch =
+                match diverse_firewall::exec::PacketBatch::from_trace(schema, trace.packets()) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("fwfleet: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let mut out = Vec::new();
+            // Untimed fill round: the timed round below then measures warm
+            // serving, the steady state of a long-lived flow cache.
+            for tenant in &ids {
+                if let Err(e) = registry.classify_batch_into(*tenant, &batch, &mut out) {
+                    eprintln!("fwfleet: filling cache for {tenant}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
-        }
-        let elapsed = t.elapsed();
-        for d in diverse_firewall::model::Decision::ALL {
-            println!("{d}: {} packet(s)", counts[d.code() as usize]);
-        }
-        println!(
-            "served {n} packets round-robin across {} tenants in {elapsed:?} \
-             ({:.2} Mpps aggregate)",
-            ids.len(),
-            n as f64 / elapsed.as_secs_f64() / 1e6
-        );
-        if verify {
+            registry.reset_cache_stats();
+            let t = Instant::now();
+            for tenant in &ids {
+                if let Err(e) = registry.classify_batch_into(*tenant, &batch, &mut out) {
+                    eprintln!("fwfleet: serving {tenant}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                for d in &out {
+                    counts[d.code() as usize] += 1;
+                }
+            }
+            let elapsed = t.elapsed();
+            let total = n * ids.len();
+            for d in diverse_firewall::model::Decision::ALL {
+                println!("{d}: {} packet(s)", counts[d.code() as usize]);
+            }
+            println!(
+                "served {total} packets ({n} per tenant, warm) through the cached route \
+                 across {} tenants in {elapsed:?} ({:.2} Mpps aggregate)",
+                ids.len(),
+                total as f64 / elapsed.as_secs_f64() / 1e6
+            );
+            if let Some(s) = registry.cache_stats() {
+                println!(
+                    "cache: {} hit(s), {} miss(es), {} insertion(s), {} invalidated, \
+                     {} evicted | hit rate {:.1}%",
+                    s.hits,
+                    s.misses,
+                    s.insertions,
+                    s.invalidated,
+                    s.evicted,
+                    100.0 * s.hit_rate()
+                );
+            }
+            if verify {
+                for tenant in &ids {
+                    let fw = registry.policy(*tenant).expect("listed tenant");
+                    registry
+                        .classify_batch_into(*tenant, &batch, &mut out)
+                        .expect("served above");
+                    for (p, got) in trace.packets().iter().zip(&out) {
+                        let want = fw.decision_for(p).expect("comprehensive policy");
+                        if *got != want {
+                            eprintln!(
+                                "fwfleet: BUG: cached registry disagrees with first-match \
+                                 for {tenant}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                println!("verify: cached registry == first-match scan on all {total} packets");
+            }
+        } else {
+            let t = Instant::now();
             for (i, p) in trace.packets().iter().enumerate() {
                 let tenant = ids[i % ids.len()];
-                let fw = registry.policy(tenant).expect("listed tenant");
-                let want = fw.decision_for(p).expect("comprehensive policy");
-                let got = registry.classify(tenant, p).expect("served above");
-                if got != want {
-                    eprintln!("fwfleet: BUG: registry disagrees with first-match for {tenant}");
-                    return ExitCode::FAILURE;
+                match registry.classify(tenant, p) {
+                    Ok(d) => counts[d.code() as usize] += 1,
+                    Err(e) => {
+                        eprintln!("fwfleet: classifying packet {i} for {tenant}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-            println!("verify: registry == first-match scan on all {n} packets");
+            let elapsed = t.elapsed();
+            for d in diverse_firewall::model::Decision::ALL {
+                println!("{d}: {} packet(s)", counts[d.code() as usize]);
+            }
+            println!(
+                "served {n} packets round-robin across {} tenants in {elapsed:?} \
+                 ({:.2} Mpps aggregate)",
+                ids.len(),
+                n as f64 / elapsed.as_secs_f64() / 1e6
+            );
+            if verify {
+                for (i, p) in trace.packets().iter().enumerate() {
+                    let tenant = ids[i % ids.len()];
+                    let fw = registry.policy(tenant).expect("listed tenant");
+                    let want = fw.decision_for(p).expect("comprehensive policy");
+                    let got = registry.classify(tenant, p).expect("served above");
+                    if got != want {
+                        eprintln!("fwfleet: BUG: registry disagrees with first-match for {tenant}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                println!("verify: registry == first-match scan on all {n} packets");
+            }
         }
     }
 
@@ -330,6 +432,17 @@ fn main() -> ExitCode {
                         r.maintain.corridor_span,
                         r.merged
                     );
+                    if let Some(inv) = &r.cache {
+                        println!(
+                            "cache invalidation: {:?} arm, {} entr(ies) dropped of {} resident",
+                            inv.plan, inv.invalidated, inv.resident
+                        );
+                    } else if cache_capacity > 0 {
+                        println!(
+                            "cache invalidation: none needed (pre-edit policy still served \
+                             elsewhere or function unchanged)"
+                        );
+                    }
                     let stats = registry.stats();
                     println!(
                         "registry after edit: {} distinct policies, arena {} nodes ({} live)",

@@ -1,0 +1,337 @@
+//! Equivalence oracle for the skew-exploiting decision cache: serving
+//! through the cache front end must be byte-identical to the uncached
+//! engines and the plain FDD walk — before any edit, and after every edit
+//! batch once exact impact-driven invalidation has run. Probed on random
+//! policies through interleaved [`LiveMatcher`] and [`PolicyRegistry`]
+//! edit batches (affected-region packets included via post-edit biased
+//! traces), on the torn probe→edit→insert interleaving the generation
+//! guard exists for, and exhaustively on every packet of a tiny 2-field
+//! schema across capacities {16, 64, 256} with *both* invalidation arms
+//! forced.
+
+use diverse_firewall::core::{ChangeImpact, Fdd};
+use diverse_firewall::exec::{
+    DecisionCache, EngineScratch, InvalidationPlan, LiveMatcher, PacketBatch, UNTAGGED,
+};
+use diverse_firewall::fleet::{PolicyRegistry, TenantId};
+use diverse_firewall::model::{Decision, FieldDef, Firewall, Packet, Schema};
+use diverse_firewall::synth::{evolve, perturb_fleet, EvolutionProfile, PacketTrace, Synthesizer};
+use proptest::prelude::*;
+
+fn edits_for(fw: &Firewall, k: usize, seed: u64) -> Vec<diverse_firewall::core::Edit> {
+    evolve(fw, k, &EvolutionProfile::default(), seed)
+        .into_iter()
+        .map(|s| s.edit)
+        .collect()
+}
+
+/// Probe packets for one round: Zipf-skewed (the cache's home turf),
+/// uniformly random, and rule-region-biased against the CURRENT policy —
+/// the biased share lands inside the regions the last edit batch changed,
+/// so stale survivors would be caught here.
+fn probes(fw: &Firewall, n: usize, seed: u64) -> Vec<Packet> {
+    let zipf = PacketTrace::zipf(fw, n, 1.0, seed);
+    let random = PacketTrace::random(fw.schema().clone(), n, seed + 1);
+    let biased = PacketTrace::biased(fw, n, 0.3, seed + 2);
+    zipf.packets()
+        .iter()
+        .chain(random.packets())
+        .chain(biased.packets())
+        .cloned()
+        .collect()
+}
+
+/// Serve `packets` through the matcher's cached route twice (cold fill +
+/// warm hits) and demand agreement with the uncached route and a fresh
+/// FDD walk of the authoritative policy on every packet, both times.
+fn assert_cached_serving_agrees(live: &LiveMatcher, packets: &[Packet], tag: &str) {
+    let policy = live.policy();
+    let fdd = Fdd::from_firewall_fast(&policy).unwrap();
+    let batch = PacketBatch::from_trace(policy.schema().clone(), packets).unwrap();
+    let mut scratch = EngineScratch::default();
+    let (mut cached, mut uncached) = (Vec::new(), Vec::new());
+
+    let choice = live.engine_choice();
+    assert!(choice.cached, "{tag}: cache route must be installed");
+    let (image, walk) = live.load_pair();
+    choice
+        .uncached()
+        .classify_into(
+            &image,
+            Some(&walk),
+            None,
+            &batch,
+            &mut scratch,
+            &mut uncached,
+        )
+        .unwrap();
+    for pass in ["cold", "warm"] {
+        live.classify_auto_into(&batch, &mut scratch, &mut cached)
+            .unwrap();
+        assert_eq!(
+            cached, uncached,
+            "{tag}: cached route diverges from uncached ({pass} pass)"
+        );
+        for (p, d) in packets.iter().zip(&cached) {
+            assert_eq!(
+                *d,
+                fdd.evaluate(p),
+                "{tag}: cached route diverges from FDD walk at {p} ({pass} pass)"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: a cache-fronted LiveMatcher serves exactly as the
+    /// uncached engines and the FDD walk through interleaved edit
+    /// batches — the exact invalidation after each batch leaves no stale
+    /// survivor, including inside the edited regions.
+    #[test]
+    fn cached_live_matcher_agrees_through_edits(
+        seed in 0u64..10_000,
+        rules in 2usize..24,
+        capacity_shift in 4u32..10,
+        edit_seed in 0u64..1_000,
+    ) {
+        let fw = Synthesizer::new(seed).firewall(rules);
+        let live = LiveMatcher::new(fw.clone()).unwrap();
+        // Small capacities force set conflicts and LRU eviction mid-test.
+        live.enable_cache(1usize << capacity_shift).unwrap();
+
+        assert_cached_serving_agrees(&live, &probes(&fw, 64, seed ^ 0xace), "fresh");
+
+        for round in 0..3u64 {
+            let policy = live.policy();
+            let edits = edits_for(&policy, 1 + (round as usize % 3), edit_seed ^ round);
+            let report = live.apply_edits(&edits).unwrap();
+            if report.swapped {
+                prop_assert!(
+                    report.cache.is_some(),
+                    "a swapped edit with a cache enabled must report its invalidation"
+                );
+            }
+            // Post-edit probes are drawn against the NEW policy, so the
+            // biased share exercises exactly the regions that changed.
+            assert_cached_serving_agrees(
+                &live,
+                &probes(&live.policy(), 48, edit_seed ^ (round << 16)),
+                &format!("after round {round}"),
+            );
+        }
+        // The lifetime counters saw real traffic through the front end.
+        let stats = live.disable_cache().expect("cache was enabled");
+        prop_assert!(stats.hits + stats.misses > 0);
+    }
+
+    /// Property: a cache-enabled registry serves every tenant of a
+    /// perturbed fleet exactly as that tenant's own first-match scan and
+    /// FDD walk, through interleaved per-tenant edit batches — a tenant's
+    /// invalidation must never corrupt (or be confused by) entries a
+    /// dedup sibling left in the same shard cache.
+    #[test]
+    fn cached_registry_agrees_through_edits(
+        seed in 0u64..10_000,
+        rules in 4usize..20,
+        tenants in 2usize..5,
+        edit_seed in 0u64..1_000,
+    ) {
+        let base = Synthesizer::new(seed).firewall(rules);
+        let fleet = perturb_fleet(&base, tenants, 10, seed);
+        let registry = PolicyRegistry::new();
+        for (i, fw) in fleet.iter().enumerate() {
+            registry.add_tenant(TenantId(i as u64), fw.clone()).unwrap();
+        }
+        registry.enable_cache(1 << 12).unwrap();
+
+        let mut out = Vec::new();
+        let mut check_all = |tag: &str, probe_seed: u64| {
+            for i in 0..tenants {
+                let tenant = TenantId(i as u64);
+                let policy = registry.policy(tenant).unwrap();
+                let fdd = Fdd::from_firewall_fast(&policy).unwrap();
+                let packets = probes(&policy, 40, probe_seed ^ (i as u64) << 32);
+                let batch =
+                    PacketBatch::from_trace(policy.schema().clone(), &packets).unwrap();
+                // Twice: the second pass serves warm out of the shard
+                // cache (shared with dedup siblings) and must not drift.
+                for pass in ["cold", "warm"] {
+                    registry.classify_batch_into(tenant, &batch, &mut out).unwrap();
+                    for (p, d) in packets.iter().zip(&out) {
+                        assert_eq!(
+                            *d,
+                            fdd.evaluate(p),
+                            "{tag}: tenant {i} cached serving diverges at {p} ({pass})"
+                        );
+                        assert_eq!(
+                            *d,
+                            policy.decision_for(p).unwrap(),
+                            "{tag}: tenant {i} diverges from first-match at {p} ({pass})"
+                        );
+                    }
+                }
+            }
+        };
+        check_all("fresh fleet", seed ^ 0xcafe);
+
+        for round in 0..2u64 {
+            for i in 0..tenants {
+                let tenant = TenantId(i as u64);
+                let edits = edits_for(
+                    &registry.policy(tenant).unwrap(),
+                    1 + (round as usize + i) % 2,
+                    edit_seed ^ (round << 8) ^ i as u64,
+                );
+                registry.apply_edits(tenant, &edits).unwrap();
+            }
+            check_all(&format!("after round {round}"), edit_seed ^ round);
+        }
+        let stats = registry.cache_stats().expect("cache enabled");
+        prop_assert!(stats.hits > 0, "warm passes must actually hit");
+    }
+}
+
+/// The torn interleaving the generation guard exists for: a serving
+/// thread probes (miss), computes a decision against the pre-edit image,
+/// an edit's invalidation runs in between, and only then does the insert
+/// arrive. The insert must be rejected — under both invalidation arms —
+/// or the cache would serve the pre-edit decision forever.
+#[test]
+fn torn_insert_between_probe_and_invalidation_is_rejected() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let fw = Firewall::parse(schema.clone(), "a=0-3 -> accept\n* -> discard\n").unwrap();
+    let edit = diverse_firewall::core::Edit::Replace {
+        index: 0,
+        rule: fw.rules()[0].with_decision(Decision::Discard),
+    };
+    let (_, impact) = ChangeImpact::of_edits(&fw, std::slice::from_ref(&edit)).unwrap();
+
+    for plan in [InvalidationPlan::Exact, InvalidationPlan::EpochBump] {
+        let mut cache = DecisionCache::new(schema.clone(), 64).unwrap();
+        let p = [1u64, 2u64]; // inside the edited region: accept -> discard
+        assert_eq!(cache.probe(UNTAGGED, &p), None, "starts cold");
+        let generation = cache.generation();
+        // ... the edit lands and invalidates before our insert arrives ...
+        cache.invalidate_with(&impact, plan);
+        // ... so the pre-edit decision must NOT be accepted.
+        assert!(
+            !cache.insert(UNTAGGED, generation, &p, Decision::Accept),
+            "stale insert must be rejected under {plan:?}"
+        );
+        assert_eq!(
+            cache.probe(UNTAGGED, &p),
+            None,
+            "the torn decision must not be resident under {plan:?}"
+        );
+        // A fresh computation against the post-edit image lands fine.
+        assert!(cache.insert(UNTAGGED, cache.generation(), &p, Decision::Discard));
+        assert_eq!(cache.probe(UNTAGGED, &p), Some(Decision::Discard));
+    }
+}
+
+/// Exhaustive invalidation-soundness sweep on a tiny 2-field/3-bit schema
+/// (64 packets): fill a cache with every packet's pre-edit decision,
+/// apply an edit, force EACH invalidation arm, and demand that
+/// (a) every packet whose decision changed now misses, and (b) every
+/// surviving hit equals the post-edit decision — at capacities 16, 64 and
+/// 256, so the sweep covers heavy set-conflict eviction, exact fit, and
+/// slack.
+#[test]
+fn exhaustive_invalidation_soundness_on_tiny_schema() {
+    let schema = Schema::new(vec![
+        FieldDef::new("a", 3).unwrap(),
+        FieldDef::new("b", 3).unwrap(),
+    ])
+    .unwrap();
+    let all: Vec<Packet> = (0..8u64)
+        .flat_map(|a| (0..8u64).map(move |b| Packet::new(vec![a, b])))
+        .collect();
+    let decisions = [Decision::Accept, Decision::Discard, Decision::AcceptLog];
+
+    for k in 0..8u64 {
+        let (a_lo, a_hi) = (k % 5, (k % 5) + 3);
+        let d1 = decisions[(k % 3) as usize];
+        let d2 = decisions[((k + 1) % 3) as usize];
+        let text = format!("a={a_lo}-{a_hi}, b=1-6 -> {d1}\n* -> {d2}\n");
+        let fw = Firewall::parse(schema.clone(), &text).unwrap();
+        // The edit flips the first rule's decision: every packet in its
+        // region changes, every packet outside keeps its decision.
+        let edit = diverse_firewall::core::Edit::Replace {
+            index: 0,
+            rule: fw.rules()[0].with_decision(d1.inverted()),
+        };
+        let (after, impact) = ChangeImpact::of_edits(&fw, std::slice::from_ref(&edit)).unwrap();
+
+        for capacity in [16usize, 64, 256] {
+            for plan in [InvalidationPlan::Exact, InvalidationPlan::EpochBump] {
+                let mut cache = DecisionCache::new(schema.clone(), capacity).unwrap();
+                let generation = cache.generation();
+                for p in &all {
+                    let d = fw.decision_for(p).unwrap();
+                    assert!(cache.insert(UNTAGGED, generation, p.values(), d));
+                }
+                let filled = cache.len();
+                assert!(filled > 0);
+
+                let report = cache.invalidate_with(&impact, plan);
+                assert_eq!(report.plan, plan);
+                assert_eq!(report.resident, filled);
+                if plan == InvalidationPlan::EpochBump {
+                    assert_eq!(report.invalidated as usize, filled, "bump drops all");
+                    assert!(cache.is_empty(), "bump leaves nothing resident");
+                }
+
+                let mut survivors = 0u64;
+                for p in &all {
+                    let was = fw.decision_for(p).unwrap();
+                    let now = after.decision_for(p).unwrap();
+                    match cache.probe(UNTAGGED, p.values()) {
+                        Some(hit) => {
+                            survivors += 1;
+                            assert_eq!(
+                                was, now,
+                                "policy {k} cap {capacity} {plan:?}: a changed packet \
+                                 survived invalidation at {p}"
+                            );
+                            assert_eq!(
+                                hit, now,
+                                "policy {k} cap {capacity} {plan:?}: stale decision at {p}"
+                            );
+                        }
+                        None => {
+                            // Fine either way: dropped by the invalidation,
+                            // evicted by a set conflict, or never resident.
+                        }
+                    }
+                }
+                match plan {
+                    InvalidationPlan::EpochBump => assert_eq!(survivors, 0),
+                    InvalidationPlan::Exact => {
+                        // At full or slack capacity nothing outside the
+                        // edited region conflicts away: the exact arm must
+                        // keep every unaffected entry warm.
+                        if capacity >= all.len() {
+                            let unchanged = all
+                                .iter()
+                                .filter(|p| {
+                                    fw.decision_for(p).unwrap() == after.decision_for(p).unwrap()
+                                })
+                                .count() as u64;
+                            assert_eq!(
+                                survivors, unchanged,
+                                "policy {k} cap {capacity}: exact arm must keep every \
+                                 unaffected entry"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -197,6 +197,7 @@ fn engines_match_exhaustive_oracle_on_tiny_schema() {
                         kind,
                         lane_width,
                         threads,
+                        cached: false,
                     };
                     choice
                         .classify_into(
